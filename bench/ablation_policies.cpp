@@ -1,0 +1,96 @@
+// Ablation bench (beyond the paper's figures; DESIGN.md §4).
+//
+// (a) early-accept in compound moves on/off — quality and work done;
+// (b) force threshold sweep (1/4, 1/2, 3/4, all) — makespan vs quality,
+//     generalizing the paper's fixed "half" rule;
+// (c) tabu attribute: cell pair vs either cell;
+// (d) tabu tenure sweep.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pts;
+  auto options = bench::parse_options(argc, argv);
+  const Cli cli(argc, argv);
+  if (!cli.has("circuit")) options.circuits = {"c532"};
+  bench::print_header("Ablations", "early-accept, force threshold, tabu memory");
+
+  for (const auto& name : options.circuits) {
+    const auto& circuit = experiments::circuit(name);
+
+    // (a) early accept.
+    {
+      Table t({"early_accept", "best cost", "quality", "iterations"});
+      for (bool early : {true, false}) {
+        double cost = 0.0, quality = 0.0, iters = 0.0;
+        for (std::size_t s = 0; s < options.seeds; ++s) {
+          auto config = experiments::base_config(circuit, 600 + s, options.quick);
+          config.num_tsws = 4;
+          config.clws_per_tsw = 2;
+          config.tabu.compound.early_accept = early;
+          const auto r = experiments::run_sim(circuit, config);
+          cost += r.best_cost;
+          quality += r.best_quality;
+          iters += static_cast<double>(r.stats.iterations);
+        }
+        const auto seeds = static_cast<double>(options.seeds);
+        t.add_row({early ? "on" : "off", Table::fmt(cost / seeds, 4),
+                   Table::fmt(quality / seeds, 4), Table::fmt(iters / seeds, 0)});
+      }
+      emit_table("Ablation (a): compound-move early accept — " + name, t);
+    }
+
+    // (b) force threshold sweep.
+    {
+      Table t({"threshold", "makespan", "best cost"});
+      for (double threshold : {0.25, 0.5, 0.75, 1.0}) {
+        double makespan = 0.0, cost = 0.0;
+        for (std::size_t s = 0; s < options.seeds; ++s) {
+          auto config = experiments::base_config(circuit, 700 + s, options.quick);
+          config.num_tsws = 4;
+          config.clws_per_tsw = 4;
+          if (threshold >= 1.0) {
+            config.set_policy(parallel::CollectionPolicy::WaitAll);
+          } else {
+            config.set_policy(parallel::CollectionPolicy::HalfForce, threshold);
+          }
+          const auto r = experiments::run_sim(circuit, config);
+          makespan += r.makespan;
+          cost += r.best_cost;
+        }
+        const auto seeds = static_cast<double>(options.seeds);
+        t.add_row({threshold >= 1.0 ? "wait-all" : Table::fmt(threshold, 2),
+                   Table::fmt(makespan / seeds, 1), Table::fmt(cost / seeds, 4)});
+      }
+      emit_table("Ablation (b): force-report threshold — " + name, t);
+    }
+
+    // (c) tabu attribute + (d) tenure.
+    {
+      Table t({"attribute", "tenure", "best cost", "tabu rejections"});
+      for (auto attribute : {tabu::TabuAttribute::CellPair,
+                             tabu::TabuAttribute::EitherCell}) {
+        for (std::size_t tenure : {4u, 10u, 25u}) {
+          double cost = 0.0, rejections = 0.0;
+          for (std::size_t s = 0; s < options.seeds; ++s) {
+            auto config =
+                experiments::base_config(circuit, 800 + s, options.quick);
+            config.num_tsws = 4;
+            config.clws_per_tsw = 1;
+            config.tabu.attribute = attribute;
+            config.tabu.tenure = tenure;
+            const auto r = experiments::run_sim(circuit, config);
+            cost += r.best_cost;
+            rejections += static_cast<double>(r.stats.rejected_tabu);
+          }
+          const auto seeds = static_cast<double>(options.seeds);
+          t.add_row({attribute == tabu::TabuAttribute::CellPair ? "pair"
+                                                                : "either-cell",
+                     std::to_string(tenure), Table::fmt(cost / seeds, 4),
+                     Table::fmt(rejections / seeds, 1)});
+        }
+      }
+      emit_table("Ablation (c,d): tabu attribute and tenure — " + name, t);
+    }
+  }
+  return 0;
+}

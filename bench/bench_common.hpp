@@ -1,0 +1,62 @@
+// Shared scaffolding for the figure benches.
+//
+// Every figure binary accepts:
+//   --quick        shrink iteration budgets (default: paper-scale budgets)
+//   --full         alias for --quick=false (explicit)
+//   --circuit c532 restrict to one circuit
+//   --seeds N      number of independent seeds averaged per point
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "experiments/speedup.hpp"
+#include "experiments/workloads.hpp"
+#include "support/cli.hpp"
+#include "support/log.hpp"
+#include "support/table.hpp"
+
+namespace pts::bench {
+
+struct BenchOptions {
+  bool quick = false;
+  std::vector<std::string> circuits;
+  std::size_t seeds = 2;
+};
+
+inline BenchOptions parse_options(int argc, char** argv,
+                                  std::size_t default_seeds = 2) {
+  set_log_level(LogLevel::Warn);
+  const Cli cli(argc, argv);
+  BenchOptions options;
+  options.quick = cli.get_flag("quick") && !cli.get_flag("full");
+  options.seeds = static_cast<std::size_t>(
+      cli.get_int("seeds", static_cast<std::int64_t>(default_seeds)));
+  if (cli.has("circuit")) {
+    options.circuits = {cli.get("circuit", "")};
+  } else {
+    options.circuits = experiments::circuit_names();
+  }
+  return options;
+}
+
+inline void print_header(const char* figure, const char* description) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("Reproduction of: Al-Yamani et al., \"Parallel Tabu Search in a\n");
+  std::printf("Heterogeneous Environment\", IPDPS 2003. Virtual-time SimEngine.\n");
+  std::printf("================================================================\n");
+}
+
+/// Averages `result` metric over seeds for one configuration.
+template <typename RunFn>
+double mean_over_seeds(std::size_t seeds, std::uint64_t base_seed, RunFn&& run) {
+  double total = 0.0;
+  for (std::size_t s = 0; s < seeds; ++s) {
+    total += run(base_seed + s);
+  }
+  return total / static_cast<double>(seeds);
+}
+
+}  // namespace pts::bench

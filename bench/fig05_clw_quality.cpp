@@ -1,0 +1,45 @@
+// Figure 5 — Effect of the number of CLWs on solution quality.
+//
+// Paper setup: 4 TSWs fixed, CLWs per TSW swept 1..4, 12-machine cluster,
+// all four circuits. Expected shape: quality improves (best cost drops) as
+// CLWs are added; for the small `highway` circuit the benefit flattens
+// beyond 2 CLWs.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pts;
+  const auto options = bench::parse_options(argc, argv);
+  bench::print_header("Figure 5", "effect of low-level parallelization (CLWs)");
+
+  std::vector<Series> quality_series;
+  std::vector<Series> cost_series;
+  for (const auto& name : options.circuits) {
+    const auto& circuit = experiments::circuit(name);
+    Series quality;
+    quality.name = name;
+    Series cost;
+    cost.name = name;
+    for (std::size_t clws = 1; clws <= 4; ++clws) {
+      double cost_sum = 0.0, quality_sum = 0.0;
+      for (std::size_t s = 0; s < options.seeds; ++s) {
+        auto config = experiments::base_config(circuit, 100 + s, options.quick);
+        config.num_tsws = 4;
+        config.clws_per_tsw = clws;
+        const auto result = experiments::run_sim(circuit, config);
+        cost_sum += result.best_cost;
+        quality_sum += result.best_quality;
+      }
+      const auto seeds = static_cast<double>(options.seeds);
+      cost.add(static_cast<double>(clws), cost_sum / seeds);
+      quality.add(static_cast<double>(clws), quality_sum / seeds);
+    }
+    cost_series.push_back(std::move(cost));
+    quality_series.push_back(std::move(quality));
+  }
+
+  emit_table("Fig 5: best cost vs #CLWs (lower is better; 4 TSWs)",
+             series_table("clws", cost_series, 4));
+  emit_table("Fig 5: solution quality (fuzzy mu) vs #CLWs (higher is better)",
+             series_table("clws", quality_series, 4));
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 6 — Speedup in reaching a solution of cost less than x for
+// different numbers of CLWs.
+//
+// Paper setup: 4 TSWs fixed, CLWs swept 1..4, speedup defined as
+// t(1,x)/t(n,x) with x a fixed quality threshold; two circuits shown.
+// Expected shape: speedup grows with CLWs, steeper for larger circuits.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pts;
+  auto options = bench::parse_options(argc, argv);
+  // The paper plots two circuits; default to one small + one large.
+  const Cli cli(argc, argv);
+  if (!cli.has("circuit")) options.circuits = {"c532", "c3540"};
+  bench::print_header("Figure 6", "speedup vs #CLWs (t(1,x)/t(n,x))");
+
+  std::vector<Series> speedups;
+  std::vector<Series> times;
+  for (const auto& name : options.circuits) {
+    const auto& circuit = experiments::circuit(name);
+    auto config = experiments::base_config(circuit, 42, options.quick);
+    config.num_tsws = 4;
+    const auto m = experiments::measure_speedup(
+        circuit, config, experiments::VaryWorkers::Clws, {1, 2, 3, 4},
+        /*improvement_fraction=*/0.7, options.seeds);
+    Series s = m.speedup;
+    s.name = name;
+    speedups.push_back(std::move(s));
+    Series t = m.time_to_threshold;
+    t.name = name;
+    times.push_back(std::move(t));
+    std::printf("threshold cost for %s: %.4f\n", name.c_str(), m.threshold_cost);
+  }
+
+  emit_table("Fig 6: speedup t(1,x)/t(n,x) vs #CLWs (4 TSWs)",
+             series_table("clws", speedups, 3));
+  emit_table("Fig 6 (support): virtual time to reach x vs #CLWs",
+             series_table("clws", times, 2));
+  return 0;
+}

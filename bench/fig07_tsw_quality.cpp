@@ -1,0 +1,44 @@
+// Figure 7 — Effect of the number of TSWs on solution quality.
+//
+// Paper setup: 1 CLW per TSW, TSWs swept 1..8, 12 machines, all circuits.
+// Expected shape: quality improves up to ~4 TSWs; adding more beyond 4 is
+// not useful (cluster saturates; diversification ranges shrink).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pts;
+  const auto options = bench::parse_options(argc, argv);
+  bench::print_header("Figure 7", "effect of high-level parallelization (TSWs)");
+
+  std::vector<Series> cost_series;
+  std::vector<Series> quality_series;
+  for (const auto& name : options.circuits) {
+    const auto& circuit = experiments::circuit(name);
+    Series cost;
+    cost.name = name;
+    Series quality;
+    quality.name = name;
+    for (std::size_t tsws = 1; tsws <= 8; ++tsws) {
+      double cost_sum = 0.0, quality_sum = 0.0;
+      for (std::size_t s = 0; s < options.seeds; ++s) {
+        auto config = experiments::base_config(circuit, 200 + s, options.quick);
+        config.num_tsws = tsws;
+        config.clws_per_tsw = 1;
+        const auto result = experiments::run_sim(circuit, config);
+        cost_sum += result.best_cost;
+        quality_sum += result.best_quality;
+      }
+      const auto seeds = static_cast<double>(options.seeds);
+      cost.add(static_cast<double>(tsws), cost_sum / seeds);
+      quality.add(static_cast<double>(tsws), quality_sum / seeds);
+    }
+    cost_series.push_back(std::move(cost));
+    quality_series.push_back(std::move(quality));
+  }
+
+  emit_table("Fig 7: best cost vs #TSWs (lower is better; 1 CLW each)",
+             series_table("tsws", cost_series, 4));
+  emit_table("Fig 7: solution quality (fuzzy mu) vs #TSWs (higher is better)",
+             series_table("tsws", quality_series, 4));
+  return 0;
+}

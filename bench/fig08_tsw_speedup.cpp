@@ -1,0 +1,40 @@
+// Figure 8 — Speedup in reaching a solution of cost less than x for
+// different numbers of TSWs.
+//
+// Paper setup: 1 CLW per TSW, TSWs swept 1..8, two circuits. The paper
+// observes a *critical point* at 4 TSWs for c532 and c3540: adding TSWs
+// beyond it degrades speedup (12 machines saturate — more TSWs time-share
+// machines, slowing every global iteration round).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pts;
+  auto options = bench::parse_options(argc, argv);
+  const Cli cli(argc, argv);
+  if (!cli.has("circuit")) options.circuits = {"c532", "c3540"};
+  bench::print_header("Figure 8", "speedup vs #TSWs (t(1,x)/t(n,x))");
+
+  std::vector<Series> speedups;
+  std::vector<Series> times;
+  for (const auto& name : options.circuits) {
+    const auto& circuit = experiments::circuit(name);
+    auto config = experiments::base_config(circuit, 31, options.quick);
+    config.clws_per_tsw = 1;
+    const auto m = experiments::measure_speedup(
+        circuit, config, experiments::VaryWorkers::Tsws, {1, 2, 4, 6, 8},
+        /*improvement_fraction=*/0.7, options.seeds);
+    Series s = m.speedup;
+    s.name = name;
+    speedups.push_back(std::move(s));
+    Series t = m.time_to_threshold;
+    t.name = name;
+    times.push_back(std::move(t));
+    std::printf("threshold cost for %s: %.4f\n", name.c_str(), m.threshold_cost);
+  }
+
+  emit_table("Fig 8: speedup t(1,x)/t(n,x) vs #TSWs (1 CLW each)",
+             series_table("tsws", speedups, 3));
+  emit_table("Fig 8 (support): virtual time to reach x vs #TSWs",
+             series_table("tsws", times, 2));
+  return 0;
+}

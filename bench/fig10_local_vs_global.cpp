@@ -1,0 +1,78 @@
+// Figure 10 — Local versus global iterations.
+//
+// Paper setup: total work held constant while global iterations G decrease
+// (less diversification) and local iterations L increase (more local
+// investigation). Expected shape: no universal winner — the best (G, L)
+// mix depends on the problem instance.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pts;
+  const auto options = bench::parse_options(argc, argv);
+  bench::print_header("Figure 10", "local vs global iteration tradeoff");
+
+  // (G, L) pairs at constant *total work* per TSW: each global iteration
+  // costs one diversification step (depth * width trials) plus L local
+  // iterations (width * depth trials each through its CLW). More
+  // diversification (higher G) therefore means fewer local iterations.
+  const std::size_t budget_trials = (options.quick ? 24u : 48u) * 24u;
+  std::vector<std::pair<std::size_t, std::size_t>> mixes;
+  {
+    parallel::PtsConfig probe;  // defaults for the work constants
+    const std::size_t per_local =
+        probe.tabu.compound.width * probe.tabu.compound.depth;
+    const std::size_t per_diversify =
+        probe.diversify.depth * probe.diversify.width;
+    for (std::size_t g : {2u, 4u, 6u, 8u, 12u}) {
+      const std::size_t per_global = budget_trials / g;
+      if (per_global <= per_diversify) continue;
+      const std::size_t l =
+          std::max<std::size_t>(1, (per_global - per_diversify) / per_local);
+      mixes.emplace_back(g, l);
+    }
+  }
+
+  std::vector<Series> cost_series;
+  for (const auto& name : options.circuits) {
+    const auto& circuit = experiments::circuit(name);
+    Series cost;
+    cost.name = name;
+    for (const auto& [g, l] : mixes) {
+      double sum = 0.0;
+      for (std::size_t s = 0; s < options.seeds; ++s) {
+        auto config = experiments::base_config(circuit, 400 + s, options.quick);
+        config.num_tsws = 4;
+        config.clws_per_tsw = 1;
+        config.global_iterations = g;
+        config.local_iterations = l;
+        sum += experiments::run_sim(circuit, config).best_cost;
+      }
+      cost.add(static_cast<double>(g), sum / static_cast<double>(options.seeds));
+    }
+    cost_series.push_back(std::move(cost));
+  }
+
+  std::printf("constant total work: %zu trials per TSW; mixes (G, L):", budget_trials);
+  for (const auto& [g, l] : mixes) std::printf(" (%zu,%zu)", g, l);
+  std::printf("\n");
+  emit_table("Fig 10: best cost vs #global iterations at constant total work",
+             series_table("global_iters", cost_series, 4));
+
+  // The paper's takeaway: the argmin G differs per circuit.
+  Table argmin({"circuit", "best G", "best L", "best cost"});
+  for (const auto& s : cost_series) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < s.size(); ++i) {
+      if (s.y[i] < s.y[best]) best = i;
+    }
+    const auto g = static_cast<std::size_t>(s.x[best]);
+    std::size_t l = 0;
+    for (const auto& [mg, ml] : mixes) {
+      if (mg == g) l = ml;
+    }
+    argmin.add_row({s.name, std::to_string(g), std::to_string(l),
+                    Table::fmt(s.y[best], 4)});
+  }
+  emit_table("Fig 10: instance-dependent best mix", argmin);
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Micro-benchmarks (google-benchmark) for the search inner loop: swap
+// evaluation, compound construction, HPWL/STA rebuilds, message codec, and
+// one simulated local iteration. Not a paper figure — engineering data for
+// the ablation discussion in DESIGN.md.
+#include <benchmark/benchmark.h>
+
+#include "cost/evaluator.hpp"
+#include "experiments/workloads.hpp"
+#include "parallel/protocol.hpp"
+#include "parallel/worker_logic.hpp"
+#include "tabu/compound.hpp"
+#include "timing/sta.hpp"
+
+namespace {
+
+using namespace pts;
+
+std::unique_ptr<cost::Evaluator> make_eval(const netlist::Netlist& nl,
+                                           const placement::Layout& layout,
+                                           std::uint64_t seed) {
+  cost::CostParams params;
+  Rng rng(seed);
+  auto p = placement::Placement::random(nl, layout, rng);
+  auto paths =
+      timing::extract_critical_paths(nl, params.num_paths, params.delay_model);
+  const auto goals = cost::Evaluator::calibrate_goals(p, *paths, params);
+  return std::make_unique<cost::Evaluator>(std::move(p), std::move(paths), params,
+                                           goals);
+}
+
+const netlist::Netlist& circuit_for(int index) {
+  static const char* names[] = {"highway", "c532", "c1355", "c3540"};
+  return experiments::circuit(names[index]);
+}
+
+void BM_ApplySwap(benchmark::State& state) {
+  const auto& nl = circuit_for(static_cast<int>(state.range(0)));
+  static std::map<const netlist::Netlist*, std::unique_ptr<placement::Layout>>
+      layouts;
+  auto& layout = layouts[&nl];
+  if (!layout) layout = std::make_unique<placement::Layout>(nl);
+  auto eval = make_eval(nl, *layout, 1);
+  Rng rng(2);
+  const auto& movable = nl.movable_cells();
+  for (auto _ : state) {
+    const auto [ia, ib] = rng.distinct_pair(movable.size());
+    benchmark::DoNotOptimize(eval->apply_swap(movable[ia], movable[ib]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(nl.name());
+}
+BENCHMARK(BM_ApplySwap)->DenseRange(0, 3);
+
+void BM_CompoundMove(benchmark::State& state) {
+  const auto& nl = circuit_for(1);  // c532
+  const placement::Layout layout(nl);
+  auto eval = make_eval(nl, layout, 3);
+  Rng rng(4);
+  tabu::CompoundParams params;
+  params.width = static_cast<std::size_t>(state.range(0));
+  params.depth = 3;
+  for (auto _ : state) {
+    const auto move =
+        tabu::build_compound_move(*eval, tabu::full_range(nl), params, rng);
+    tabu::undo_compound(*eval, move);
+  }
+  state.SetLabel("c532 width=" + std::to_string(params.width));
+}
+BENCHMARK(BM_CompoundMove)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_HpwlRebuild(benchmark::State& state) {
+  const auto& nl = circuit_for(static_cast<int>(state.range(0)));
+  const placement::Layout layout(nl);
+  Rng rng(5);
+  const auto p = placement::Placement::random(nl, layout, rng);
+  placement::HpwlState hpwl(p);
+  for (auto _ : state) {
+    hpwl.rebuild();
+    benchmark::DoNotOptimize(hpwl.total());
+  }
+  state.SetLabel(nl.name());
+}
+BENCHMARK(BM_HpwlRebuild)->DenseRange(0, 3);
+
+void BM_ExactSta(benchmark::State& state) {
+  const auto& nl = circuit_for(static_cast<int>(state.range(0)));
+  const placement::Layout layout(nl);
+  Rng rng(6);
+  const auto p = placement::Placement::random(nl, layout, rng);
+  const placement::HpwlState hpwl(p);
+  const timing::DelayModel model;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(timing::run_sta(nl, hpwl, model).critical_delay);
+  }
+  state.SetLabel(nl.name());
+}
+BENCHMARK(BM_ExactSta)->DenseRange(0, 3);
+
+void BM_MessageRoundTrip(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint32_t> slots(n);
+  for (std::size_t i = 0; i < n; ++i) slots[i] = static_cast<std::uint32_t>(i);
+  for (auto _ : state) {
+    pvm::Message msg = parallel::make_init(slots);
+    benchmark::DoNotOptimize(parallel::decode_init(msg).size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * n * 4));
+}
+BENCHMARK(BM_MessageRoundTrip)->Arg(56)->Arg(395)->Arg(2243);
+
+void BM_SimFullSearch(benchmark::State& state) {
+  const auto& nl = circuit_for(static_cast<int>(state.range(0)));
+  auto config = experiments::base_config(nl, 7, /*quick=*/true);
+  config.num_tsws = 4;
+  config.clws_per_tsw = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(experiments::run_sim(nl, config).best_cost);
+  }
+  state.SetLabel(nl.name() + " 4x2 quick");
+}
+BENCHMARK(BM_SimFullSearch)->DenseRange(0, 1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

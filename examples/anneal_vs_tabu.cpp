@@ -1,0 +1,120 @@
+// Comparing tabu search against the memoryless heuristics the paper's
+// introduction contrasts it with: steepest-descent local search (gets
+// trapped in local optima) and simulated annealing, plus the parallel TS.
+// All methods share the same cost model, initial solution and a roughly
+// equal move-evaluation budget.
+//
+// Usage: anneal_vs_tabu [--circuit c532] [--budget 20000]
+#include <cstdio>
+
+#include "baselines/annealing.hpp"
+#include "baselines/constructive.hpp"
+#include "baselines/local_search.hpp"
+#include "experiments/workloads.hpp"
+#include "support/cli.hpp"
+#include "support/log.hpp"
+#include "parallel/pts.hpp"
+#include "tabu/search.hpp"
+
+namespace {
+
+std::unique_ptr<pts::cost::Evaluator> fresh_eval(
+    const pts::netlist::Netlist& nl, const pts::placement::Layout& layout,
+    const pts::cost::FuzzyGoals& goals,
+    const std::vector<pts::netlist::CellId>& slots) {
+  pts::cost::CostParams params;
+  auto paths = pts::timing::extract_critical_paths(nl, params.num_paths,
+                                                   params.delay_model);
+  pts::placement::Placement p(nl, layout);
+  p.assign_slots(slots);
+  return std::make_unique<pts::cost::Evaluator>(std::move(p), std::move(paths),
+                                                params, goals);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pts;
+  const Cli cli(argc, argv);
+  set_log_level(LogLevel::Warn);
+
+  const std::string name = cli.get("circuit", "c532");
+  const auto& circuit = experiments::circuit(name);
+  const placement::Layout layout(circuit);
+  const auto budget = static_cast<std::size_t>(cli.get_int("budget", 20000));
+
+  // Shared initial solution and goals.
+  Rng rng(5);
+  const auto initial = baselines::random_placement(circuit, layout, rng);
+  cost::CostParams cost_params;
+  auto paths = timing::extract_critical_paths(circuit, cost_params.num_paths,
+                                              cost_params.delay_model);
+  const auto goals =
+      cost::Evaluator::calibrate_goals(initial, *paths, cost_params);
+  const auto slots = initial.slots();
+
+  std::printf("circuit %s, %zu move evaluations per method\n\n",
+              circuit.name().c_str(), budget);
+  std::printf("%-22s %10s %10s\n", "method", "best cost", "quality");
+  std::printf("--------------------------------------------\n");
+  {
+    auto eval = fresh_eval(circuit, layout, goals, slots);
+    std::printf("%-22s %10.4f %10.4f\n", "initial (random)", eval->cost(),
+                eval->quality());
+  }
+  {
+    auto eval = fresh_eval(circuit, layout, goals, slots);
+    baselines::LocalSearchParams params;
+    params.candidates_per_iteration = 8;
+    params.max_iterations = budget / params.candidates_per_iteration;
+    Rng r(21);
+    const auto result = baselines::local_search(*eval, params, r);
+    std::printf("%-22s %10.4f %10.4f  (%s after %zu iterations)\n",
+                "local search", result.best_cost, result.best_quality,
+                result.converged ? "converged" : "budget out", result.iterations);
+  }
+  {
+    auto eval = fresh_eval(circuit, layout, goals, slots);
+    baselines::AnnealParams params;
+    params.moves_per_temp = circuit.num_movable();
+    // Pick the cooling rate so the schedule roughly matches the budget.
+    params.cooling = 0.9;
+    Rng r(22);
+    const auto result = baselines::anneal(*eval, params, r);
+    std::printf("%-22s %10.4f %10.4f  (%zu moves, %.0f%% accepted)\n",
+                "simulated annealing", result.best_cost, result.best_quality,
+                result.moves_tried,
+                100.0 * static_cast<double>(result.moves_accepted) /
+                    static_cast<double>(result.moves_tried));
+  }
+  {
+    auto eval = fresh_eval(circuit, layout, goals, slots);
+    tabu::TabuParams params;
+    const std::size_t per_iter =
+        params.compound.width * params.compound.depth;
+    params.iterations = budget / per_iter;
+    tabu::TabuSearch search(*eval, params, Rng(23));
+    const auto result = search.run();
+    std::printf("%-22s %10.4f %10.4f  (%zu iterations)\n", "tabu search (seq)",
+                result.best_cost, result.best_quality, result.stats.iterations);
+  }
+  {
+    auto config = experiments::base_config(circuit, 5, /*quick=*/false);
+    config.num_tsws = 4;
+    config.clws_per_tsw = 2;
+    // Match the total budget across all workers.
+    const std::size_t per_local = config.num_tsws * config.clws_per_tsw *
+                                  config.tabu.compound.width *
+                                  config.tabu.compound.depth;
+    config.local_iterations = std::max<std::size_t>(1, budget / per_local / 4);
+    config.global_iterations = 4;
+    const auto result =
+        parallel::ParallelTabuSearch(circuit, config).run_sim();
+    std::printf("%-22s %10.4f %10.4f  (4x2 workers, virtual makespan %.0f)\n",
+                "parallel tabu search", result.best_cost, result.best_quality,
+                result.makespan);
+  }
+  std::printf("\n(the parallel run spends the same total work in ~1/6 the\n"
+              " virtual time; see bench/ for the paper's figures)\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+#include "baselines/annealing.hpp"
+
+#include <cmath>
+
+#include "tabu/candidate.hpp"
+
+namespace pts::baselines {
+
+AnnealResult anneal(cost::Evaluator& eval, const AnnealParams& params, Rng& rng) {
+  const auto& netlist = eval.placement().netlist();
+  const tabu::CellRange range = tabu::full_range(netlist);
+  const std::size_t moves_per_temp =
+      params.moves_per_temp > 0 ? params.moves_per_temp
+                                : 10 * netlist.num_movable();
+
+  // Auto-tune T0: sample uphill deltas from trial swaps, pick T0 so the
+  // target fraction of them would be accepted (Metropolis).
+  double uphill_sum = 0.0;
+  std::size_t uphill_count = 0;
+  for (std::size_t i = 0; i < 64; ++i) {
+    const auto move = tabu::sample_move(netlist, range, rng);
+    const double before = eval.cost();
+    const double after = eval.apply_swap(move.a, move.b);
+    eval.apply_swap(move.a, move.b);
+    if (after > before) {
+      uphill_sum += after - before;
+      ++uphill_count;
+    }
+  }
+  const double mean_uphill =
+      uphill_count > 0 ? uphill_sum / static_cast<double>(uphill_count) : 1e-3;
+  double temperature = -mean_uphill / std::log(params.initial_acceptance);
+  const double final_temperature = temperature * params.final_temp_ratio;
+
+  AnnealResult result;
+  result.best_trace.name = "sa_best";
+  double current = eval.cost();
+  result.best_cost = current;
+  result.best_slots = eval.placement().slots();
+  result.best_quality = eval.quality();
+
+  std::size_t temp_step = 0;
+  while (temperature > final_temperature) {
+    for (std::size_t i = 0; i < moves_per_temp; ++i) {
+      const auto move = tabu::sample_move(netlist, range, rng);
+      const double after = eval.apply_swap(move.a, move.b);
+      ++result.moves_tried;
+      const double delta = after - current;
+      if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temperature)) {
+        current = after;
+        ++result.moves_accepted;
+        if (current < result.best_cost) {
+          result.best_cost = current;
+          result.best_slots = eval.placement().slots();
+          result.best_quality = eval.quality();
+        }
+      } else {
+        eval.apply_swap(move.a, move.b);  // reject: undo
+      }
+    }
+    if (params.trace_stride != 0 && temp_step % params.trace_stride == 0) {
+      result.best_trace.add(static_cast<double>(temp_step), result.best_cost);
+    }
+    temperature *= params.cooling;
+    ++temp_step;
+  }
+  return result;
+}
+
+}  // namespace pts::baselines

@@ -1,0 +1,38 @@
+// Simulated-annealing placer (memoryless comparator).
+//
+// The paper's introduction contrasts tabu search with memoryless iterative
+// heuristics — simulated annealing chief among them (Casotto et al. for
+// parallel SA placement). This baseline runs Metropolis-accepted swaps
+// under a geometric cooling schedule on the same Evaluator/cost model, so
+// examples and benches can compare TS and SA per unit of work.
+#pragma once
+
+#include "cost/evaluator.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace pts::baselines {
+
+struct AnnealParams {
+  /// Initial acceptance target used to auto-tune T0 (fraction of uphill
+  /// moves accepted at the start).
+  double initial_acceptance = 0.85;
+  double cooling = 0.92;          ///< geometric factor per temperature step
+  std::size_t moves_per_temp = 0; ///< 0 = 10 * movable cells
+  double final_temp_ratio = 1e-3; ///< stop when T < T0 * ratio
+  std::size_t trace_stride = 1;
+};
+
+struct AnnealResult {
+  double best_cost = 0.0;
+  double best_quality = 0.0;
+  std::vector<netlist::CellId> best_slots;
+  Series best_trace;  ///< best cost per temperature step
+  std::size_t moves_tried = 0;
+  std::size_t moves_accepted = 0;
+};
+
+/// Runs SA on the evaluator's current solution (mutates it).
+AnnealResult anneal(cost::Evaluator& eval, const AnnealParams& params, Rng& rng);
+
+}  // namespace pts::baselines

@@ -1,0 +1,27 @@
+// Constructive initial-placement heuristics.
+//
+// The paper starts tabu search from a random initial solution; the greedy
+// constructor is provided as a stronger starting point for the examples and
+// for studying sensitivity to initial-solution quality (the paper notes the
+// speedup "depends on ... the goodness of the initial solution").
+#pragma once
+
+#include "netlist/netlist.hpp"
+#include "placement/placement.hpp"
+#include "support/rng.hpp"
+
+namespace pts::baselines {
+
+/// Uniformly random placement (the paper's initial solution).
+placement::Placement random_placement(const netlist::Netlist& netlist,
+                                      const placement::Layout& layout, Rng& rng);
+
+/// Connectivity-driven greedy constructor: seeds with the highest-degree
+/// cell, then repeatedly places the unplaced cell most connected to already
+/// placed ones into the free slot minimizing distance to its placed
+/// neighbors' centroid. O(cells^2) in the worst case — intended for
+/// construction, not for the search inner loop.
+placement::Placement greedy_placement(const netlist::Netlist& netlist,
+                                      const placement::Layout& layout, Rng& rng);
+
+}  // namespace pts::baselines

@@ -1,0 +1,55 @@
+#include "baselines/local_search.hpp"
+
+#include "tabu/candidate.hpp"
+
+namespace pts::baselines {
+
+LocalSearchResult local_search(cost::Evaluator& eval,
+                               const LocalSearchParams& params, Rng& rng) {
+  PTS_CHECK(params.candidates_per_iteration >= 1);
+  const auto& netlist = eval.placement().netlist();
+  const tabu::CellRange range = tabu::full_range(netlist);
+
+  LocalSearchResult result;
+  result.best_trace.name = "ls_best";
+  double current = eval.cost();
+  result.best_cost = current;
+  result.best_quality = eval.quality();
+  result.best_slots = eval.placement().slots();
+
+  std::size_t stale = 0;
+  for (std::size_t iter = 0; iter < params.max_iterations; ++iter) {
+    ++result.iterations;
+    tabu::Move best{};
+    double best_cost = current;
+    bool have = false;
+    for (std::size_t c = 0; c < params.candidates_per_iteration; ++c) {
+      const auto move = tabu::sample_move(netlist, range, rng);
+      const double after = eval.apply_swap(move.a, move.b);
+      eval.apply_swap(move.a, move.b);
+      if (after < best_cost) {
+        best = move;
+        best_cost = after;
+        have = true;
+      }
+    }
+    if (have) {
+      current = eval.apply_swap(best.a, best.b);
+      stale = 0;
+      if (current < result.best_cost) {
+        result.best_cost = current;
+        result.best_quality = eval.quality();
+        result.best_slots = eval.placement().slots();
+      }
+    } else if (++stale >= params.patience) {
+      result.converged = true;
+      break;
+    }
+    if (params.trace_stride != 0 && iter % params.trace_stride == 0) {
+      result.best_trace.add(static_cast<double>(iter), result.best_cost);
+    }
+  }
+  return result;
+}
+
+}  // namespace pts::baselines

@@ -1,0 +1,34 @@
+// Greedy local search (steepest-descent) baseline.
+//
+// The degenerate memoryless cousin of tabu search: per iteration sample m
+// candidate swaps and apply the best only if it improves; stop after
+// `patience` consecutive non-improving iterations. Demonstrates the local
+// optimum trapping that motivates TS (paper §1).
+#pragma once
+
+#include "cost/evaluator.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace pts::baselines {
+
+struct LocalSearchParams {
+  std::size_t candidates_per_iteration = 8;
+  std::size_t patience = 50;
+  std::size_t max_iterations = 100000;
+  std::size_t trace_stride = 1;
+};
+
+struct LocalSearchResult {
+  double best_cost = 0.0;
+  double best_quality = 0.0;
+  std::vector<netlist::CellId> best_slots;
+  Series best_trace;
+  std::size_t iterations = 0;
+  bool converged = false;  ///< stopped by patience, not by max_iterations
+};
+
+LocalSearchResult local_search(cost::Evaluator& eval,
+                               const LocalSearchParams& params, Rng& rng);
+
+}  // namespace pts::baselines

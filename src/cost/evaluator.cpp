@@ -1,0 +1,73 @@
+#include "cost/evaluator.hpp"
+
+namespace pts::cost {
+
+using netlist::CellId;
+
+Evaluator::Evaluator(placement::Placement placement,
+                     std::shared_ptr<const timing::PathSet> paths,
+                     const CostParams& params, const FuzzyGoals& goals)
+    : placement_(std::move(placement)),
+      paths_(std::move(paths)),
+      params_(params),
+      goals_(goals),
+      hpwl_(placement_),
+      timer_(paths_, hpwl_, params.delay_model),
+      marker_(placement_.netlist().num_nets()) {
+  PTS_CHECK(params_.rebuild_interval >= 1);
+}
+
+Objectives Evaluator::objectives() const {
+  Objectives o;
+  o.wirelength = hpwl_.total();
+  o.delay = timer_.max_delay();
+  o.area = placement_.max_row_extent() * placement_.layout().core_height();
+  return o;
+}
+
+double Evaluator::apply_swap(CellId a, CellId b) {
+  moved_scratch_.clear();
+  placement_.swap_cells(a, b, &moved_scratch_);
+
+  marker_.begin();
+  const auto& netlist = placement_.netlist();
+  for (CellId cell : moved_scratch_) marker_.add_nets_of(netlist, cell);
+
+  change_scratch_.clear();
+  hpwl_.update_nets(marker_.nets(), &change_scratch_);
+  for (const auto& change : change_scratch_) {
+    timer_.apply_net_change(change.net, change.old_hpwl, change.new_hpwl);
+  }
+
+  ++swaps_applied_;
+  if (++swaps_since_rebuild_ >= params_.rebuild_interval) rebuild_all();
+  return cost();
+}
+
+void Evaluator::reset_placement(const std::vector<CellId>& cell_at_slot) {
+  placement_.assign_slots(cell_at_slot);
+  rebuild_all();
+}
+
+void Evaluator::rebuild_all() {
+  hpwl_.rebuild();
+  timer_.rebuild(hpwl_);
+  swaps_since_rebuild_ = 0;
+}
+
+FuzzyGoals Evaluator::calibrate_goals(const placement::Placement& initial,
+                                      const timing::PathSet& paths,
+                                      const CostParams& params) {
+  placement::HpwlState hpwl(initial);
+  timing::PathTimer timer(
+      std::shared_ptr<const timing::PathSet>(&paths, [](const timing::PathSet*) {}),
+      hpwl, params.delay_model);
+  Objectives o;
+  o.wirelength = hpwl.total();
+  o.delay = timer.max_delay();
+  o.area = initial.max_row_extent() * initial.layout().core_height();
+  return FuzzyGoals::calibrate(o, params.target_improvement,
+                               params.initial_membership, params.beta);
+}
+
+}  // namespace pts::cost

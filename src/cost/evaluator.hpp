@@ -1,0 +1,95 @@
+// Incremental multi-objective cost evaluation of a placement.
+//
+// The Evaluator owns a Placement and keeps the HPWL state and the K-paths
+// delay estimate consistent with it across swaps. It is the single mutation
+// point used by the tabu engine and by every candidate-list worker:
+//
+//   double after = eval.apply_swap(a, b);   // mutate + incremental update
+//   ...
+//   eval.apply_swap(a, b);                  // swap is an involution: undo
+//
+// Each worker owns its own Evaluator (its private copy of the current
+// solution); the PathSet is immutable and shared.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cost/fuzzy.hpp"
+#include "netlist/netlist.hpp"
+#include "placement/hpwl.hpp"
+#include "placement/placement.hpp"
+#include "timing/paths.hpp"
+
+namespace pts::cost {
+
+struct CostParams {
+  timing::DelayModel delay_model;
+  /// Number of monitored critical paths for the delay estimate.
+  std::size_t num_paths = 24;
+  /// Goal calibration (see FuzzyGoals::calibrate).
+  double target_improvement = 0.7;
+  double initial_membership = 0.25;
+  double beta = 0.6;
+  /// Rebuild HPWL + path sums from scratch every this many swaps (caps
+  /// floating-point drift in the running totals).
+  std::size_t rebuild_interval = 1u << 14;
+};
+
+class Evaluator {
+ public:
+  /// Takes ownership of `placement`; goals are taken from `goals` so all
+  /// workers of one search rank solutions identically.
+  Evaluator(placement::Placement placement,
+            std::shared_ptr<const timing::PathSet> paths, const CostParams& params,
+            const FuzzyGoals& goals);
+
+  Evaluator(const Evaluator&) = delete;
+  Evaluator& operator=(const Evaluator&) = delete;
+
+  const placement::Placement& placement() const { return placement_; }
+  const FuzzyGoals& goals() const { return goals_; }
+  const placement::HpwlState& hpwl() const { return hpwl_; }
+
+  /// Current objective vector.
+  Objectives objectives() const;
+  /// Current scalar cost (1 - OWA of raw memberships); lower is better.
+  double cost() const { return goals_.cost(objectives()); }
+  /// Current quality in [0, 1]; higher is better.
+  double quality() const { return goals_.quality(objectives()); }
+
+  /// Swaps two movable cells, updates all incremental state, and returns
+  /// the new scalar cost. Involution: calling again with the same pair
+  /// undoes the move.
+  double apply_swap(netlist::CellId a, netlist::CellId b);
+
+  /// Replaces the current solution (e.g. with a broadcast best) and fully
+  /// rebuilds incremental state.
+  void reset_placement(const std::vector<netlist::CellId>& cell_at_slot);
+
+  /// Number of swaps applied since construction (diagnostics).
+  std::size_t swaps_applied() const { return swaps_applied_; }
+
+  /// Measures the objectives of the initial placement of a search and
+  /// calibrates shared fuzzy goals from them.
+  static FuzzyGoals calibrate_goals(const placement::Placement& initial,
+                                    const timing::PathSet& paths,
+                                    const CostParams& params);
+
+ private:
+  void rebuild_all();
+
+  placement::Placement placement_;
+  std::shared_ptr<const timing::PathSet> paths_;
+  CostParams params_;
+  FuzzyGoals goals_;
+  placement::HpwlState hpwl_;
+  timing::PathTimer timer_;
+  placement::NetMarker marker_;
+  std::vector<netlist::CellId> moved_scratch_;
+  std::vector<placement::NetChange> change_scratch_;
+  std::size_t swaps_applied_ = 0;
+  std::size_t swaps_since_rebuild_ = 0;
+};
+
+}  // namespace pts::cost

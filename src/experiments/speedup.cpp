@@ -1,0 +1,77 @@
+#include "experiments/speedup.hpp"
+
+#include <algorithm>
+
+#include "support/stats.hpp"
+
+namespace pts::experiments {
+
+SpeedupMeasurement measure_speedup(const netlist::Netlist& netlist,
+                                   parallel::PtsConfig base, VaryWorkers vary,
+                                   const std::vector<std::size_t>& counts,
+                                   double improvement_fraction,
+                                   std::size_t seeds) {
+  PTS_CHECK(!counts.empty());
+  PTS_CHECK(seeds >= 1);
+  PTS_CHECK_MSG(std::find(counts.begin(), counts.end(), 1u) != counts.end(),
+                "speedup needs the n=1 baseline in `counts`");
+
+  auto configure = [&](std::size_t n, std::uint64_t seed) {
+    parallel::PtsConfig config = base;
+    config.seed = seed;
+    if (vary == VaryWorkers::Clws) {
+      config.clws_per_tsw = n;
+    } else {
+      config.num_tsws = n;
+    }
+    return config;
+  };
+
+  SpeedupMeasurement out;
+  out.speedup.name = "speedup";
+  out.time_to_threshold.name = "t(n,x)";
+  out.best_cost.name = "best_cost";
+
+  // Per-seed paired measurement: each seed has its own baseline run and
+  // threshold; per-seed ratios are averaged.
+  struct PerSeed {
+    double threshold = 0.0;
+    double t1 = 0.0;
+  };
+  std::vector<PerSeed> baselines(seeds);
+  RunningStats threshold_stats;
+  for (std::size_t s = 0; s < seeds; ++s) {
+    const auto baseline =
+        run_sim(netlist, configure(1, base.seed + 1000 * s));
+    baselines[s].threshold =
+        improvement_threshold(baseline, improvement_fraction);
+    baselines[s].t1 = baseline.time_to_cost(baselines[s].threshold);
+    PTS_CHECK_MSG(baselines[s].t1 >= 0.0,
+                  "baseline must reach its own improvement threshold");
+    threshold_stats.add(baselines[s].threshold);
+  }
+  out.threshold_cost = threshold_stats.mean();
+
+  for (std::size_t n : counts) {
+    RunningStats ratio, time_to_x, best;
+    for (std::size_t s = 0; s < seeds; ++s) {
+      const auto result = run_sim(netlist, configure(n, base.seed + 1000 * s));
+      const double tn = result.time_to_cost(baselines[s].threshold);
+      best.add(result.best_cost);
+      if (tn > 0.0) {
+        time_to_x.add(tn);
+        ratio.add(baselines[s].t1 / tn);
+      }
+    }
+    out.best_cost.add(static_cast<double>(n), best.mean());
+    if (time_to_x.count() > 0) {
+      out.time_to_threshold.add(static_cast<double>(n), time_to_x.mean());
+      out.speedup.add(static_cast<double>(n), ratio.mean());
+    } else {
+      out.time_to_threshold.add(static_cast<double>(n), -1.0);
+    }
+  }
+  return out;
+}
+
+}  // namespace pts::experiments

@@ -1,0 +1,44 @@
+// Speedup measurement for non-deterministic parallel search.
+//
+// Implements the paper's definition (§5):
+//
+//     Speedup(n, x) = t(1, x) / t(n, x)
+//
+// where t(n, x) is the (virtual) time at which the run with n workers first
+// reaches a solution of cost <= x. The threshold x defaults to the cost
+// after 90% of the single-worker run's total improvement, so every
+// configuration has a fair chance of reaching it.
+#pragma once
+
+#include <vector>
+
+#include "experiments/workloads.hpp"
+#include "support/stats.hpp"
+
+namespace pts::experiments {
+
+enum class VaryWorkers { Clws, Tsws };
+
+struct SpeedupMeasurement {
+  double threshold_cost = 0.0;
+  /// x = worker count, y = t(1,x)/t(n,x); points whose run never reached
+  /// the threshold are omitted.
+  Series speedup;
+  /// x = worker count, y = t(n, x) in virtual seconds (-1 if unreached).
+  Series time_to_threshold;
+  /// x = worker count, y = best cost of the full run (context for quality).
+  Series best_cost;
+};
+
+/// Runs the sim engine for every worker count in `counts` (which must
+/// include 1, the baseline) and measures the paper's speedup. With
+/// `seeds > 1` the measurement is paired: each seed gets its own baseline
+/// and threshold, per-seed speedups are averaged (non-deterministic search
+/// times are noisy; the paper likewise reports representative runs).
+SpeedupMeasurement measure_speedup(const netlist::Netlist& netlist,
+                                   parallel::PtsConfig base, VaryWorkers vary,
+                                   const std::vector<std::size_t>& counts,
+                                   double improvement_fraction = 0.9,
+                                   std::size_t seeds = 1);
+
+}  // namespace pts::experiments

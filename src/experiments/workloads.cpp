@@ -1,0 +1,64 @@
+#include "experiments/workloads.hpp"
+
+#include <map>
+
+namespace pts::experiments {
+
+const netlist::Netlist& circuit(std::string_view name) {
+  static std::map<std::string, netlist::Netlist> cache;
+  const std::string key(name);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, netlist::make_benchmark(name)).first;
+  }
+  return it->second;
+}
+
+std::vector<std::string> circuit_names() {
+  std::vector<std::string> names;
+  for (const auto& info : netlist::paper_benchmarks()) names.push_back(info.name);
+  return names;
+}
+
+parallel::PtsConfig base_config(const netlist::Netlist& netlist,
+                                std::uint64_t seed, bool quick) {
+  parallel::PtsConfig config;
+  config.seed = seed;
+  config.num_tsws = 4;
+  config.clws_per_tsw = 1;
+  config.cluster = pvm::ClusterConfig::paper_cluster();
+  config.set_policy(parallel::CollectionPolicy::HalfForce);
+
+  config.tabu.tenure = 10;
+  config.tabu.compound.width = 8;
+  config.tabu.compound.depth = 3;
+  config.diversify.depth = 4;
+  config.cost.num_paths = 24;
+
+  // Iteration budgets grow with circuit size (the paper fixes them per
+  // circuit but does not publish the values).
+  const std::size_t n = netlist.num_movable();
+  if (quick) {
+    config.global_iterations = 4;
+    config.local_iterations = n < 100 ? 4 : 6;
+  } else {
+    config.global_iterations = n < 100 ? 6 : (n < 1000 ? 8 : 10);
+    config.local_iterations = n < 100 ? 8 : (n < 1000 ? 10 : 12);
+  }
+  return config;
+}
+
+parallel::PtsResult run_sim(const netlist::Netlist& netlist,
+                            const parallel::PtsConfig& config) {
+  parallel::ParallelTabuSearch search(netlist, config);
+  return search.run_sim();
+}
+
+double improvement_threshold(const parallel::PtsResult& baseline,
+                             double fraction) {
+  PTS_CHECK(fraction > 0.0 && fraction <= 1.0);
+  return baseline.initial_cost -
+         fraction * (baseline.initial_cost - baseline.best_cost);
+}
+
+}  // namespace pts::experiments

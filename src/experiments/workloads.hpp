@@ -1,0 +1,40 @@
+// Shared experiment workloads and configurations.
+//
+// Every figure bench pulls its circuits and base parameters from here so
+// the whole evaluation is consistent: same seeded circuits, same tabu
+// parameters, iteration budgets scaled to circuit size the way the paper's
+// fixed "algorithm parameters" were. `quick` shrinks budgets (used by the
+// default bench invocation so the full suite stays in CI-friendly time;
+// pass --full to the bench binaries for larger runs).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netlist/benchmarks.hpp"
+#include "parallel/pts.hpp"
+
+namespace pts::experiments {
+
+/// Cached benchmark circuit (generated once per process).
+const netlist::Netlist& circuit(std::string_view name);
+
+/// Circuit names in the paper's size order.
+std::vector<std::string> circuit_names();
+
+/// Base configuration for a circuit: paper defaults (4 TSWs, 1 CLW,
+/// half-force policy on the 12-machine cluster) with iteration budgets
+/// scaled to circuit size.
+parallel::PtsConfig base_config(const netlist::Netlist& netlist,
+                                std::uint64_t seed = 1, bool quick = true);
+
+/// Runs the sim engine once.
+parallel::PtsResult run_sim(const netlist::Netlist& netlist,
+                            const parallel::PtsConfig& config);
+
+/// Quality threshold "x" for speedup measurements: the cost after
+/// `fraction` of the baseline run's total improvement.
+double improvement_threshold(const parallel::PtsResult& baseline, double fraction);
+
+}  // namespace pts::experiments

@@ -1,0 +1,49 @@
+// Structural circuit analysis.
+//
+// Summarizes the properties that determine placement difficulty — net
+// degree distribution, gate fanin/fanout, logic depth profile, and a
+// Rent-style locality estimate — used by the examples for reporting and
+// by tests to check that the synthetic generator produces circuit-like
+// structure (DESIGN.md §2: the experiments depend on these properties,
+// not on the exact ISCAS gate functions).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace pts::netlist {
+
+struct DistributionSummary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::size_t min = 0;
+  std::size_t max = 0;
+  /// histogram[k] = number of items with value k (truncated at 16+).
+  std::vector<std::size_t> histogram;
+};
+
+struct CircuitStats {
+  std::size_t cells = 0;
+  std::size_t gates = 0;
+  std::size_t primary_inputs = 0;
+  std::size_t primary_outputs = 0;
+  std::size_t nets = 0;
+  std::size_t pins = 0;
+  std::size_t logic_depth = 0;
+  double avg_pins_per_net = 0.0;
+  double avg_pins_per_cell = 0.0;
+  DistributionSummary net_degree;   ///< pins per net
+  DistributionSummary gate_fanin;   ///< input pins per gate
+  DistributionSummary gate_fanout;  ///< sinks of each gate's output net
+  std::int64_t total_gate_width = 0;
+};
+
+CircuitStats analyze_circuit(const Netlist& netlist);
+
+/// Human-readable multi-line report.
+std::string format_stats(const CircuitStats& stats);
+
+}  // namespace pts::netlist

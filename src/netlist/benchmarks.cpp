@@ -1,0 +1,45 @@
+#include "netlist/benchmarks.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace pts::netlist {
+
+const std::vector<BenchmarkInfo>& paper_benchmarks() {
+  // Cell counts follow Section 5 of the paper; pad counts follow the
+  // published ISCAS profiles of similarly sized circuits.
+  static const std::vector<BenchmarkInfo> table = {
+      {"highway", 56, 8, 8, 0x0156u},
+      {"c532", 395, 20, 20, 0x0532u},
+      {"c1355", 1451, 41, 32, 0x1355u},
+      {"c3540", 2243, 50, 22, 0x3540u},
+  };
+  return table;
+}
+
+bool is_paper_benchmark(std::string_view name) {
+  const auto& all = paper_benchmarks();
+  return std::any_of(all.begin(), all.end(),
+                     [&](const BenchmarkInfo& b) { return b.name == name; });
+}
+
+GeneratorConfig benchmark_config(std::string_view name) {
+  for (const auto& info : paper_benchmarks()) {
+    if (info.name != name) continue;
+    GeneratorConfig config;
+    config.name = info.name;
+    config.num_gates = info.cells;
+    config.num_primary_inputs = info.primary_inputs;
+    config.num_primary_outputs = info.primary_outputs;
+    config.seed = info.seed;
+    return config;
+  }
+  PTS_CHECK_MSG(false, "unknown benchmark circuit");
+}
+
+Netlist make_benchmark(std::string_view name) {
+  return generate_circuit(benchmark_config(name));
+}
+
+}  // namespace pts::netlist

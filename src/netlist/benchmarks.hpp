@@ -1,0 +1,40 @@
+// Benchmark circuit registry.
+//
+// The paper evaluates on four ISCAS-89 circuits: highway (56 cells),
+// c532 (395), c1355 (1451) and c3540 (2243). We reproduce them as seeded
+// synthetic circuits of the same movable-cell counts (see DESIGN.md §2 for
+// the substitution rationale). `make_benchmark("c532")` always returns the
+// same netlist.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netlist/generator.hpp"
+#include "netlist/netlist.hpp"
+
+namespace pts::netlist {
+
+struct BenchmarkInfo {
+  std::string name;
+  std::size_t cells;            ///< movable cells, as reported in the paper
+  std::size_t primary_inputs;
+  std::size_t primary_outputs;
+  std::uint64_t seed;
+};
+
+/// The four circuits of the paper's evaluation, smallest first.
+const std::vector<BenchmarkInfo>& paper_benchmarks();
+
+/// True if `name` is one of the paper's circuits.
+bool is_paper_benchmark(std::string_view name);
+
+/// Generator configuration used for a named benchmark (exposed so tests can
+/// perturb it).
+GeneratorConfig benchmark_config(std::string_view name);
+
+/// Builds the named benchmark circuit. PTS_CHECK-fails on unknown names.
+Netlist make_benchmark(std::string_view name);
+
+}  // namespace pts::netlist

@@ -1,0 +1,60 @@
+// Synthetic combinational-circuit generator.
+//
+// The paper evaluates on four ISCAS-89 circuits (highway, c532, c1355,
+// c3540), which are not redistributable here. This generator produces
+// seeded pseudo-random DAGs whose size, fanin/fanout distribution and logic
+// depth are representative of gate-level netlists of the same cell count —
+// the properties the paper's experiments actually exercise (see DESIGN.md
+// §2). Generation is deterministic for a given config.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace pts::netlist {
+
+struct GeneratorConfig {
+  std::string name = "synthetic";
+  /// Number of logic gates (the movable cells the paper counts).
+  std::size_t num_gates = 100;
+  std::size_t num_primary_inputs = 10;
+  std::size_t num_primary_outputs = 10;
+
+  /// Mean gate fanin; individual fanins are in [1, max_fanin].
+  double avg_fanin = 2.4;
+  std::size_t max_fanin = 5;
+
+  /// Probability that an input is drawn from the most recent `locality_window`
+  /// nets instead of uniformly — larger values yield deeper circuits.
+  double locality = 0.65;
+  std::size_t locality_window = 24;
+
+  /// Cell width distribution in grid units, uniform in [min_width, max_width].
+  int min_width = 1;
+  int max_width = 4;
+
+  /// Gate delay model: intrinsic ~ N(delay_mean, delay_stddev) clamped > 0,
+  /// load factor uniform in [load_min, load_max].
+  double delay_mean = 1.0;
+  double delay_stddev = 0.25;
+  double load_min = 0.05;
+  double load_max = 0.20;
+
+  /// Fraction of nets flagged timing/power critical (weight 2.0 vs 1.0).
+  double critical_net_fraction = 0.1;
+
+  std::uint64_t seed = 1;
+};
+
+/// Generates a valid netlist (acyclic, every net driven and sunk).
+/// Invariants guaranteed regardless of config values:
+///  - exactly num_gates gates and num_primary_inputs PIs;
+///  - at least num_primary_outputs POs (dangling gate outputs whose driver
+///    is the final gate are sunk by extra POs);
+///  - gate i's inputs come only from PIs or gates j < i (acyclic by
+///    construction, independently re-checked by Netlist::finalize()).
+Netlist generate_circuit(const GeneratorConfig& config);
+
+}  // namespace pts::netlist

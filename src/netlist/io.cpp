@@ -1,0 +1,127 @@
+#include "netlist/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace pts::netlist {
+
+void write_netlist(const Netlist& netlist, std::ostream& os) {
+  os << "# pts netlist v1\n";
+  os << "circuit " << netlist.name() << "\n";
+  for (const auto& cell : netlist.cells()) {
+    switch (cell.kind) {
+      case CellKind::PrimaryInput:
+        os << "pi " << cell.name << "\n";
+        break;
+      case CellKind::PrimaryOutput:
+        os << "po " << cell.name << "\n";
+        break;
+      case CellKind::Gate:
+        os << "gate " << cell.name << ' ' << cell.width << ' '
+           << cell.intrinsic_delay << ' ' << cell.load_factor << "\n";
+        break;
+    }
+  }
+  for (const auto& net : netlist.nets()) {
+    os << "net " << net.name << ' ' << net.weight << ' '
+       << netlist.cell(net.driver).name;
+    for (CellId sink : net.sinks) os << ' ' << netlist.cell(sink).name;
+    os << "\n";
+  }
+}
+
+std::string to_net_format(const Netlist& netlist) {
+  std::ostringstream os;
+  write_netlist(netlist, os);
+  return os.str();
+}
+
+Netlist parse_netlist(std::istream& is) {
+  NetlistBuilder builder("unnamed");
+  bool named = false;
+  std::unordered_map<std::string, CellId> cells;
+  std::string line;
+  std::size_t line_no = 0;
+
+  auto fail = [&](const std::string& why) {
+    PTS_CHECK_MSG(false, ("netlist parse error at line " +
+                          std::to_string(line_no) + ": " + why)
+                             .c_str());
+  };
+  auto lookup = [&](const std::string& name) -> CellId {
+    const auto it = cells.find(name);
+    if (it == cells.end()) fail("unknown cell '" + name + "'");
+    return it->second;
+  };
+
+  std::optional<NetlistBuilder> named_builder;
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword) || keyword[0] == '#') continue;
+
+    NetlistBuilder& b = named_builder ? *named_builder : builder;
+    if (keyword == "circuit") {
+      std::string name;
+      if (!(ls >> name)) fail("circuit needs a name");
+      if (named) fail("duplicate circuit line");
+      PTS_CHECK_MSG(cells.empty(), "circuit line must precede cells");
+      named_builder.emplace(name);
+      named = true;
+    } else if (keyword == "pi") {
+      std::string name;
+      if (!(ls >> name)) fail("pi needs a name");
+      cells[name] = b.add_primary_input(name);
+    } else if (keyword == "po") {
+      std::string name;
+      if (!(ls >> name)) fail("po needs a name");
+      cells[name] = b.add_primary_output(name);
+    } else if (keyword == "gate") {
+      std::string name;
+      int width = 0;
+      double delay = 0.0, load = 0.0;
+      if (!(ls >> name >> width >> delay >> load)) fail("malformed gate line");
+      cells[name] = b.add_gate(name, width, delay, load);
+    } else if (keyword == "net") {
+      std::string name, driver;
+      double weight = 1.0;
+      if (!(ls >> name >> weight >> driver)) fail("malformed net line");
+      const NetId net = b.add_net(name, lookup(driver), weight);
+      std::string sink;
+      std::size_t sinks = 0;
+      while (ls >> sink) {
+        b.connect_input(net, lookup(sink));
+        ++sinks;
+      }
+      if (sinks == 0) fail("net '" + name + "' has no sinks");
+    } else {
+      fail("unknown keyword '" + keyword + "'");
+    }
+  }
+  return named_builder ? std::move(*named_builder).build()
+                       : std::move(builder).build();
+}
+
+Netlist parse_netlist_string(const std::string& text) {
+  std::istringstream is(text);
+  return parse_netlist(is);
+}
+
+void save_netlist_file(const Netlist& netlist, const std::string& path) {
+  std::ofstream os(path);
+  PTS_CHECK_MSG(os.good(), "cannot open netlist file for writing");
+  write_netlist(netlist, os);
+}
+
+Netlist load_netlist_file(const std::string& path) {
+  std::ifstream is(path);
+  PTS_CHECK_MSG(is.good(), "cannot open netlist file for reading");
+  return parse_netlist(is);
+}
+
+}  // namespace pts::netlist

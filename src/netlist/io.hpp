@@ -1,0 +1,34 @@
+// Text serialization of netlists (".net" format).
+//
+// The format is line-oriented and human-editable:
+//
+//   # comment
+//   circuit <name>
+//   pi <name>
+//   po <name>
+//   gate <name> <width> <intrinsic_delay> <load_factor>
+//   net <name> <weight> <driver> <sink> [<sink> ...]
+//
+// Cells must be declared before the nets that reference them. write/parse
+// round-trip exactly (same ids, same pin order).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace pts::netlist {
+
+void write_netlist(const Netlist& netlist, std::ostream& os);
+std::string to_net_format(const Netlist& netlist);
+
+/// Parses the `.net` format. PTS_CHECK-fails on malformed input with a
+/// message naming the offending line.
+Netlist parse_netlist(std::istream& is);
+Netlist parse_netlist_string(const std::string& text);
+
+void save_netlist_file(const Netlist& netlist, const std::string& path);
+Netlist load_netlist_file(const std::string& path);
+
+}  // namespace pts::netlist

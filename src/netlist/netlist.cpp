@@ -1,0 +1,168 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace pts::netlist {
+
+std::size_t Netlist::num_pins() const {
+  std::size_t total = 0;
+  for (const auto& n : nets_) total += n.pin_count();
+  return total;
+}
+
+std::optional<CellId> Netlist::find_cell(std::string_view name) const {
+  for (CellId id = 0; id < cells_.size(); ++id) {
+    if (cells_[id].name == name) return id;
+  }
+  return std::nullopt;
+}
+
+void Netlist::finalize() {
+  const auto n_cells = cells_.size();
+  movable_.clear();
+  pads_.clear();
+  nets_of_.assign(n_cells, {});
+  total_movable_width_ = 0;
+
+  std::unordered_set<std::string> names;
+  names.reserve(n_cells + nets_.size());
+  for (const auto& c : cells_) {
+    PTS_CHECK_MSG(names.insert(c.name).second, "duplicate cell name");
+  }
+  for (const auto& n : nets_) {
+    PTS_CHECK_MSG(names.insert(n.name).second, "duplicate net name");
+  }
+
+  for (CellId id = 0; id < n_cells; ++id) {
+    const Cell& c = cells_[id];
+    PTS_CHECK_MSG(c.width >= 1, "cell width must be positive");
+    switch (c.kind) {
+      case CellKind::PrimaryInput:
+        PTS_CHECK_MSG(c.in_nets.empty(), "PI cannot have inputs");
+        PTS_CHECK_MSG(c.out_net != kNoNet, "PI must drive a net");
+        pads_.push_back(id);
+        break;
+      case CellKind::PrimaryOutput:
+        PTS_CHECK_MSG(c.in_nets.size() == 1, "PO must sink exactly one net");
+        PTS_CHECK_MSG(c.out_net == kNoNet, "PO cannot drive a net");
+        pads_.push_back(id);
+        break;
+      case CellKind::Gate:
+        PTS_CHECK_MSG(!c.in_nets.empty(), "gate must have at least one input");
+        PTS_CHECK_MSG(c.out_net != kNoNet, "gate must drive a net");
+        movable_.push_back(id);
+        total_movable_width_ += c.width;
+        break;
+    }
+    // Incident-net index (out net first, then inputs, deduplicated — a cell
+    // may legitimately take the same net on two pins).
+    auto& incident = nets_of_[id];
+    if (c.out_net != kNoNet) incident.push_back(c.out_net);
+    for (NetId nid : c.in_nets) {
+      if (std::find(incident.begin(), incident.end(), nid) == incident.end())
+        incident.push_back(nid);
+    }
+  }
+
+  for (NetId nid = 0; nid < nets_.size(); ++nid) {
+    const Net& n = nets_[nid];
+    PTS_CHECK_MSG(n.driver != kNoCell, "net must have a driver");
+    PTS_CHECK_MSG(!n.sinks.empty(), "net must have at least one sink");
+    PTS_CHECK_MSG(cells_[n.driver].out_net == nid, "driver/out_net mismatch");
+    PTS_CHECK_MSG(n.weight > 0.0, "net weight must be positive");
+  }
+
+  // Kahn topological sort over the cell graph (edge: net driver -> sink).
+  std::vector<std::size_t> indegree(n_cells, 0);
+  for (const auto& c : cells_) {
+    (void)c;
+  }
+  for (CellId id = 0; id < n_cells; ++id) {
+    indegree[id] = cells_[id].in_nets.size();
+  }
+  topo_.clear();
+  topo_.reserve(n_cells);
+  std::vector<std::size_t> depth(n_cells, 0);
+  std::vector<CellId> frontier;
+  for (CellId id = 0; id < n_cells; ++id) {
+    if (indegree[id] == 0) frontier.push_back(id);
+  }
+  while (!frontier.empty()) {
+    const CellId id = frontier.back();
+    frontier.pop_back();
+    topo_.push_back(id);
+    if (cells_[id].out_net == kNoNet) continue;
+    for (CellId sink : nets_[cells_[id].out_net].sinks) {
+      depth[sink] = std::max(depth[sink], depth[id] + 1);
+      PTS_CHECK(indegree[sink] > 0);
+      if (--indegree[sink] == 0) frontier.push_back(sink);
+    }
+  }
+  PTS_CHECK_MSG(topo_.size() == n_cells, "netlist contains a combinational cycle");
+  logic_depth_ = depth.empty() ? 0 : *std::max_element(depth.begin(), depth.end());
+}
+
+NetlistBuilder::NetlistBuilder(std::string name) { netlist_.name_ = std::move(name); }
+
+CellId NetlistBuilder::add_cell(std::string name, CellKind kind, int width,
+                                double delay, double load) {
+  Cell c;
+  c.name = std::move(name);
+  c.kind = kind;
+  c.width = width;
+  c.intrinsic_delay = delay;
+  c.load_factor = load;
+  netlist_.cells_.push_back(std::move(c));
+  return static_cast<CellId>(netlist_.cells_.size() - 1);
+}
+
+CellId NetlistBuilder::add_primary_input(std::string name) {
+  return add_cell(std::move(name), CellKind::PrimaryInput, 1, 0.0, 0.0);
+}
+
+CellId NetlistBuilder::add_primary_output(std::string name) {
+  return add_cell(std::move(name), CellKind::PrimaryOutput, 1, 0.0, 0.0);
+}
+
+CellId NetlistBuilder::add_gate(std::string name, int width, double intrinsic_delay,
+                                double load_factor) {
+  PTS_CHECK(width >= 1);
+  PTS_CHECK(intrinsic_delay >= 0.0);
+  PTS_CHECK(load_factor >= 0.0);
+  return add_cell(std::move(name), CellKind::Gate, width, intrinsic_delay,
+                  load_factor);
+}
+
+NetId NetlistBuilder::add_net(std::string name, CellId driver, double weight) {
+  PTS_CHECK(driver < netlist_.cells_.size());
+  Cell& d = netlist_.cells_[driver];
+  PTS_CHECK_MSG(d.kind != CellKind::PrimaryOutput, "PO cannot drive a net");
+  PTS_CHECK_MSG(d.out_net == kNoNet, "cell already drives a net");
+  Net n;
+  n.name = std::move(name);
+  n.driver = driver;
+  n.weight = weight;
+  netlist_.nets_.push_back(std::move(n));
+  const auto nid = static_cast<NetId>(netlist_.nets_.size() - 1);
+  d.out_net = nid;
+  return nid;
+}
+
+void NetlistBuilder::connect_input(NetId net, CellId sink) {
+  PTS_CHECK(net < netlist_.nets_.size());
+  PTS_CHECK(sink < netlist_.cells_.size());
+  Cell& s = netlist_.cells_[sink];
+  PTS_CHECK_MSG(s.kind != CellKind::PrimaryInput, "PI cannot have inputs");
+  PTS_CHECK_MSG(netlist_.nets_[net].driver != sink, "self-loop net");
+  netlist_.nets_[net].sinks.push_back(sink);
+  s.in_nets.push_back(net);
+}
+
+Netlist NetlistBuilder::build() && {
+  netlist_.finalize();
+  return std::move(netlist_);
+}
+
+}  // namespace pts::netlist

@@ -1,0 +1,31 @@
+#include "parallel/config.hpp"
+
+namespace pts::parallel {
+
+SearchSetup::SearchSetup(const netlist::Netlist& nl, const PtsConfig& cfg)
+    : netlist(&nl), config(cfg), layout(nl) {
+  PTS_CHECK(config.num_tsws >= 1);
+  PTS_CHECK(config.clws_per_tsw >= 1);
+  PTS_CHECK(config.local_iterations >= 1);
+  PTS_CHECK(config.global_iterations >= 1);
+
+  Rng rng(config.seed);
+  const auto initial = placement::Placement::random(nl, layout, rng);
+  initial_slots = initial.slots();
+  paths = timing::extract_critical_paths(nl, config.cost.num_paths,
+                                         config.cost.delay_model);
+  goals = cost::Evaluator::calibrate_goals(initial, *paths, config.cost);
+
+  cost::Evaluator eval(initial, paths, config.cost, goals);
+  initial_cost = eval.cost();
+}
+
+std::unique_ptr<cost::Evaluator> SearchSetup::make_evaluator(
+    const std::vector<netlist::CellId>& slots) const {
+  placement::Placement p(*netlist, layout);
+  p.assign_slots(slots);
+  return std::make_unique<cost::Evaluator>(std::move(p), paths, config.cost,
+                                           goals);
+}
+
+}  // namespace pts::parallel

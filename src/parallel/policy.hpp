@@ -1,0 +1,43 @@
+// Collection policies: how a parent gathers results from its children.
+//
+// The paper's heterogeneity mechanism (§4.2): in the heterogeneous run, a
+// parent stops waiting once *half* of its children have reported, and
+// forces the stragglers to return the best they have found so far. In the
+// homogeneous run the parent waits for everyone. The threshold fraction is
+// exposed (default 0.5) because the ablation bench sweeps it.
+#pragma once
+
+#include <cstddef>
+
+#include "support/check.hpp"
+
+namespace pts::parallel {
+
+enum class CollectionPolicy {
+  /// Wait for all children to finish (the paper's "homogeneous run").
+  WaitAll,
+  /// Cut stragglers once `threshold` of the children reported (the paper's
+  /// "heterogeneous run"; threshold 0.5 = "half of them").
+  HalfForce,
+};
+
+struct PolicyParams {
+  CollectionPolicy policy = CollectionPolicy::HalfForce;
+  /// Fraction of children that must report before the rest are forced.
+  double threshold = 0.5;
+
+  /// Number of voluntary reports a parent of `children` waits for before
+  /// forcing the rest. Always at least 1 and at most `children`.
+  std::size_t reports_before_force(std::size_t children) const {
+    PTS_CHECK(children >= 1);
+    if (policy == CollectionPolicy::WaitAll) return children;
+    const double want = threshold * static_cast<double>(children);
+    auto k = static_cast<std::size_t>(want);
+    if (static_cast<double>(k) < want) ++k;  // ceil
+    if (k < 1) k = 1;
+    if (k > children) k = children;
+    return k;
+  }
+};
+
+}  // namespace pts::parallel

@@ -1,0 +1,51 @@
+// Public entry point: parallel tabu search for VLSI cell placement.
+//
+// Quickstart:
+//
+//   auto circuit = pts::netlist::make_benchmark("c532");
+//   pts::parallel::PtsConfig config;
+//   config.num_tsws = 4;
+//   config.clws_per_tsw = 4;
+//   config.set_policy(pts::parallel::CollectionPolicy::HalfForce);
+//   pts::parallel::ParallelTabuSearch search(circuit, config);
+//   auto result = search.run_sim();        // deterministic virtual time
+//   // or: auto result = search.run_threaded();  // real threads
+//
+// run_sim() executes the search under the discrete-event virtual-time
+// engine (deterministic; the engine behind the paper-figure benches);
+// run_threaded() executes the identical algorithm on the PVM-like threaded
+// runtime. Both return a PtsResult.
+#pragma once
+
+#include "parallel/config.hpp"
+#include "parallel/sim_engine.hpp"
+#include "parallel/threaded_engine.hpp"
+
+namespace pts::parallel {
+
+class ParallelTabuSearch {
+ public:
+  /// `netlist` must outlive the search and its results.
+  ParallelTabuSearch(const netlist::Netlist& netlist, PtsConfig config)
+      : netlist_(&netlist), config_(std::move(config)) {}
+
+  const PtsConfig& config() const { return config_; }
+
+  /// Deterministic virtual-time run (same seed -> identical result).
+  PtsResult run_sim() const {
+    SimEngine engine(*netlist_, config_);
+    return engine.run();
+  }
+
+  /// Real threaded run on the PVM-like runtime (wall-clock timings).
+  PtsResult run_threaded() const {
+    ThreadedEngine engine(*netlist_, config_);
+    return engine.run();
+  }
+
+ private:
+  const netlist::Netlist* netlist_;
+  PtsConfig config_;
+};
+
+}  // namespace pts::parallel

@@ -1,0 +1,29 @@
+// Threaded engine: the parallel tabu search on the PVM-like runtime.
+//
+// Process structure follows the paper's Figures 2–4 exactly: the host task
+// is the master; it spawns the TSWs; each TSW spawns its own CLWs. All
+// coordination is message passing (protocol.hpp); the collection policies
+// are executed live — a parent counts voluntary reports and sends
+// ForceReport to the stragglers once the threshold is reached.
+//
+// Timing in this engine is wall-clock (the host has whatever cores it has);
+// set PtsConfig::threaded_seconds_per_unit > 0 to throttle tasks to their
+// machine profile so heterogeneity is visible in real time. The figure
+// benches use the SimEngine instead (deterministic virtual time).
+#pragma once
+
+#include "parallel/config.hpp"
+
+namespace pts::parallel {
+
+class ThreadedEngine {
+ public:
+  ThreadedEngine(const netlist::Netlist& netlist, const PtsConfig& config);
+
+  PtsResult run();
+
+ private:
+  SearchSetup setup_;
+};
+
+}  // namespace pts::parallel

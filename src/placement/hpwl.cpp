@@ -1,0 +1,62 @@
+#include "placement/hpwl.hpp"
+
+#include <algorithm>
+
+namespace pts::placement {
+
+using netlist::NetId;
+
+HpwlState::HpwlState(const Placement& placement)
+    : placement_(&placement), boxes_(placement.netlist().num_nets()) {
+  rebuild();
+}
+
+NetBox HpwlState::compute_box(NetId net) const {
+  const auto& n = placement_->netlist().net(net);
+  const Point d = placement_->position(n.driver);
+  NetBox box{d.x, d.x, d.y, d.y};
+  for (netlist::CellId sink : n.sinks) {
+    const Point p = placement_->position(sink);
+    box.min_x = std::min(box.min_x, p.x);
+    box.max_x = std::max(box.max_x, p.x);
+    box.min_y = std::min(box.min_y, p.y);
+    box.max_y = std::max(box.max_y, p.y);
+  }
+  return box;
+}
+
+double HpwlState::update_nets(std::span<const NetId> nets,
+                              std::vector<NetChange>* changes) {
+  double delta = 0.0;
+  const auto& netlist = placement_->netlist();
+  for (NetId net : nets) {
+    const double before = boxes_[net].half_perimeter();
+    boxes_[net] = compute_box(net);
+    const double after = boxes_[net].half_perimeter();
+    if (before == after) continue;
+    delta += netlist.net(net).weight * (after - before);
+    if (changes != nullptr) changes->push_back({net, before, after});
+  }
+  total_ += delta;
+  return delta;
+}
+
+void HpwlState::rebuild() {
+  const auto& netlist = placement_->netlist();
+  total_ = 0.0;
+  for (NetId net = 0; net < netlist.num_nets(); ++net) {
+    boxes_[net] = compute_box(net);
+    total_ += netlist.net(net).weight * boxes_[net].half_perimeter();
+  }
+}
+
+double HpwlState::compute_fresh_total() const {
+  const auto& netlist = placement_->netlist();
+  double total = 0.0;
+  for (NetId net = 0; net < netlist.num_nets(); ++net) {
+    total += netlist.net(net).weight * compute_box(net).half_perimeter();
+  }
+  return total;
+}
+
+}  // namespace pts::placement

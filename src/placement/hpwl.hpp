@@ -1,0 +1,103 @@
+// Incremental half-perimeter wirelength (HPWL).
+//
+// Maintains one bounding box per net over the pin positions (pads included)
+// of the current placement, and the weighted sum of half-perimeters. After a
+// swap, only the nets incident to moved cells change; update_nets()
+// recomputes those boxes from scratch (net degrees are small) and adjusts
+// the running total. Because box recomputation is stateless, re-applying a
+// swap and updating the same nets restores the previous values exactly up
+// to floating-point summation order in the running total; callers that
+// perform long update sequences (the cost Evaluator) rebuild() periodically
+// to cap drift.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "placement/placement.hpp"
+
+namespace pts::placement {
+
+struct NetBox {
+  double min_x = 0.0, max_x = 0.0, min_y = 0.0, max_y = 0.0;
+
+  double half_perimeter() const { return (max_x - min_x) + (max_y - min_y); }
+};
+
+/// Per-net HPWL change reported by update_nets, consumed by the incremental
+/// path timer.
+struct NetChange {
+  netlist::NetId net;
+  double old_hpwl;
+  double new_hpwl;
+};
+
+class HpwlState {
+ public:
+  explicit HpwlState(const Placement& placement);
+
+  /// Weighted total HPWL of the placement this state tracks.
+  double total() const { return total_; }
+
+  double net_hpwl(netlist::NetId net) const {
+    PTS_DCHECK(net < boxes_.size());
+    return boxes_[net].half_perimeter();
+  }
+  const NetBox& net_box(netlist::NetId net) const {
+    PTS_DCHECK(net < boxes_.size());
+    return boxes_[net];
+  }
+
+  /// Recomputes the boxes of `nets` against the current placement geometry
+  /// and returns the change in weighted total. `nets` must be duplicate-free
+  /// (use NetMarker to deduplicate the union of incident nets). If `changes`
+  /// is non-null, appends one NetChange per net whose half-perimeter moved.
+  double update_nets(std::span<const netlist::NetId> nets,
+                     std::vector<NetChange>* changes = nullptr);
+
+  /// Full recomputation from the placement.
+  void rebuild();
+
+  /// From-scratch total for verification; does not modify state.
+  double compute_fresh_total() const;
+
+ private:
+  NetBox compute_box(netlist::NetId net) const;
+
+  const Placement* placement_;
+  std::vector<NetBox> boxes_;
+  double total_ = 0.0;
+};
+
+/// Epoch-stamped net deduplicator: collects the union of nets incident to a
+/// set of moved cells without clearing an O(nets) array per swap.
+class NetMarker {
+ public:
+  explicit NetMarker(std::size_t num_nets) : stamp_(num_nets, 0) {}
+
+  /// Begins a new collection round; previously collected nets are forgotten.
+  void begin() {
+    ++epoch_;
+    nets_.clear();
+  }
+
+  void add_nets_of(const netlist::Netlist& netlist, netlist::CellId cell) {
+    for (netlist::NetId net : netlist.nets_of(cell)) {
+      PTS_DCHECK(net < stamp_.size());
+      if (stamp_[net] != epoch_) {
+        stamp_[net] = epoch_;
+        nets_.push_back(net);
+      }
+    }
+  }
+
+  std::span<const netlist::NetId> nets() const { return nets_; }
+
+ private:
+  std::vector<std::uint64_t> stamp_;
+  std::uint64_t epoch_ = 0;
+  std::vector<netlist::NetId> nets_;
+};
+
+}  // namespace pts::placement

@@ -1,0 +1,154 @@
+#include "placement/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pts::placement {
+
+using netlist::CellId;
+
+Placement::Placement(const netlist::Netlist& netlist, const Layout& layout)
+    : netlist_(&netlist), layout_(&layout) {
+  PTS_CHECK_MSG(layout.num_slots() == netlist.num_movable(),
+                "layout must be derived from the same netlist");
+  slot_of_.assign(netlist.num_cells(), kNoSlot);
+  cell_at_.assign(layout.num_slots(), netlist::kNoCell);
+  x_center_.assign(netlist.num_cells(), 0.0);
+  row_extent_.assign(layout.num_rows(), 0.0);
+
+  const auto& movable = netlist.movable_cells();
+  for (std::size_t k = 0; k < movable.size(); ++k) {
+    slot_of_[movable[k]] = static_cast<SlotId>(k);
+    cell_at_[k] = movable[k];
+  }
+  rebuild_all_rows();
+}
+
+Placement Placement::random(const netlist::Netlist& netlist, const Layout& layout,
+                            Rng& rng) {
+  Placement p(netlist, layout);
+  std::vector<CellId> order = netlist.movable_cells();
+  rng.shuffle(order);
+  p.assign_slots(order);
+  return p;
+}
+
+void Placement::assign_slots(const std::vector<CellId>& cell_at_slot) {
+  PTS_CHECK(cell_at_slot.size() == cell_at_.size());
+  std::fill(slot_of_.begin(), slot_of_.end(), kNoSlot);
+  for (SlotId s = 0; s < cell_at_slot.size(); ++s) {
+    const CellId c = cell_at_slot[s];
+    PTS_CHECK(c < slot_of_.size());
+    PTS_CHECK_MSG(netlist_->cell(c).movable(), "pads cannot occupy slots");
+    PTS_CHECK_MSG(slot_of_[c] == kNoSlot, "cell placed twice");
+    slot_of_[c] = s;
+  }
+  cell_at_ = cell_at_slot;
+  rebuild_all_rows();
+}
+
+Point Placement::position(CellId cell) const {
+  const auto& c = netlist_->cell(cell);
+  if (!c.movable()) return layout_->pad_position(cell);
+  const SlotId slot = slot_of_[cell];
+  PTS_DCHECK(slot != kNoSlot);
+  return Point{x_center_[cell], layout_->row_y(layout_->row_of_slot(slot))};
+}
+
+double Placement::max_row_extent() const {
+  return *std::max_element(row_extent_.begin(), row_extent_.end());
+}
+
+void Placement::rebuild_row(std::size_t row) {
+  const std::size_t count = layout_->slots_in_row(row);
+  double x = 0.0;
+  for (std::size_t col = 0; col < count; ++col) {
+    const CellId cell = cell_at_[layout_->slot_at(row, col)];
+    const double w = static_cast<double>(netlist_->cell(cell).width);
+    x_center_[cell] = x + 0.5 * w;
+    x += w;
+  }
+  row_extent_[row] = x;
+}
+
+void Placement::rebuild_all_rows() {
+  for (std::size_t row = 0; row < layout_->num_rows(); ++row) rebuild_row(row);
+}
+
+void Placement::swap_cells(CellId a, CellId b, std::vector<CellId>* moved_cells) {
+  PTS_DCHECK(a != b);
+  PTS_DCHECK(netlist_->cell(a).movable() && netlist_->cell(b).movable());
+  const SlotId sa = slot_of_[a];
+  const SlotId sb = slot_of_[b];
+  const std::size_t ra = layout_->row_of_slot(sa);
+  const std::size_t rb = layout_->row_of_slot(sb);
+
+  slot_of_[a] = sb;
+  slot_of_[b] = sa;
+  cell_at_[sa] = b;
+  cell_at_[sb] = a;
+
+  const int wa = netlist_->cell(a).width;
+  const int wb = netlist_->cell(b).width;
+  if (wa == wb) {
+    // Equal widths: only a and b move; their centers trade places.
+    std::swap(x_center_[a], x_center_[b]);
+    if (moved_cells != nullptr) {
+      moved_cells->push_back(a);
+      moved_cells->push_back(b);
+    }
+    return;
+  }
+
+  // Unequal widths: every cell at or after the smaller affected column in
+  // each touched row may shift. Collect moved cells before rebuilding.
+  if (moved_cells != nullptr) {
+    const std::size_t col_a = layout_->column_of_slot(sa);
+    const std::size_t col_b = layout_->column_of_slot(sb);
+    auto collect_from = [&](std::size_t row, std::size_t first_col) {
+      const std::size_t count = layout_->slots_in_row(row);
+      for (std::size_t col = first_col; col < count; ++col) {
+        moved_cells->push_back(cell_at_[layout_->slot_at(row, col)]);
+      }
+    };
+    if (ra == rb) {
+      collect_from(ra, std::min(col_a, col_b));
+    } else {
+      collect_from(ra, col_a);
+      collect_from(rb, col_b);
+    }
+  }
+  rebuild_row(ra);
+  if (rb != ra) rebuild_row(rb);
+}
+
+void Placement::check_consistent() const {
+  // Bijection between movable cells and slots.
+  std::vector<char> seen(cell_at_.size(), 0);
+  for (SlotId s = 0; s < cell_at_.size(); ++s) {
+    const CellId c = cell_at_[s];
+    PTS_CHECK(c != netlist::kNoCell);
+    PTS_CHECK(netlist_->cell(c).movable());
+    PTS_CHECK(slot_of_[c] == s);
+    PTS_CHECK(!seen[s]);
+    seen[s] = 1;
+  }
+  for (CellId c = 0; c < slot_of_.size(); ++c) {
+    if (netlist_->cell(c).movable()) {
+      PTS_CHECK(slot_of_[c] != kNoSlot);
+    } else {
+      PTS_CHECK(slot_of_[c] == kNoSlot);
+    }
+  }
+  // Geometry matches a from-scratch rebuild.
+  Placement fresh(*netlist_, *layout_);
+  fresh.assign_slots(cell_at_);
+  for (CellId c : netlist_->movable_cells()) {
+    PTS_CHECK(std::abs(fresh.x_center_[c] - x_center_[c]) < 1e-9);
+  }
+  for (std::size_t row = 0; row < layout_->num_rows(); ++row) {
+    PTS_CHECK(std::abs(fresh.row_extent_[row] - row_extent_[row]) < 1e-9);
+  }
+}
+
+}  // namespace pts::placement

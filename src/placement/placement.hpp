@@ -1,0 +1,92 @@
+// Placement state: an assignment of movable cells to layout slots.
+//
+// The assignment is a bijection between gates and slots. Geometry is exact
+// for variable-width cells: within a row, a cell's x center is the prefix
+// sum of the widths of the cells at earlier columns plus half its own width.
+//
+// The only mutation is swap_cells(a, b), which is an involution — applying
+// the same swap again restores the previous state exactly. Tabu search and
+// the candidate-list workers rely on this for cheap undo of trial moves.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "placement/layout.hpp"
+#include "support/rng.hpp"
+
+namespace pts::placement {
+
+class Placement {
+ public:
+  /// Identity placement: movable cell k (in netlist movable order) occupies
+  /// slot k.
+  Placement(const netlist::Netlist& netlist, const Layout& layout);
+
+  /// Uniformly random placement.
+  static Placement random(const netlist::Netlist& netlist, const Layout& layout,
+                          Rng& rng);
+
+  const netlist::Netlist& netlist() const { return *netlist_; }
+  const Layout& layout() const { return *layout_; }
+
+  SlotId slot_of(netlist::CellId cell) const {
+    PTS_DCHECK(cell < slot_of_.size());
+    return slot_of_[cell];
+  }
+  netlist::CellId cell_at(SlotId slot) const {
+    PTS_DCHECK(slot < cell_at_.size());
+    return cell_at_[slot];
+  }
+
+  std::size_t row_of(netlist::CellId cell) const {
+    return layout_->row_of_slot(slot_of(cell));
+  }
+
+  /// Center position of any cell: pads from the layout, gates from the row
+  /// geometry.
+  Point position(netlist::CellId cell) const;
+
+  /// Width of the occupied extent of `row` (sum of cell widths in it).
+  double row_extent(std::size_t row) const {
+    PTS_DCHECK(row < row_extent_.size());
+    return row_extent_[row];
+  }
+  /// Max row extent; the area objective is core_height() * max_row_extent.
+  double max_row_extent() const;
+
+  /// Swaps the slots of two distinct movable cells and updates geometry.
+  /// Appends every cell whose center moved (including a and b) to
+  /// `moved_cells` if non-null. Involution: swap(a, b); swap(a, b); is a
+  /// no-op.
+  void swap_cells(netlist::CellId a, netlist::CellId b,
+                  std::vector<netlist::CellId>* moved_cells = nullptr);
+
+  /// Full invariant re-check (bijection + geometry); O(cells). Test hook.
+  void check_consistent() const;
+
+  bool operator==(const Placement& other) const {
+    return slot_of_ == other.slot_of_;
+  }
+
+  /// Compact permutation view: slot index -> movable cell id, for
+  /// serialization across the message-passing layer.
+  const std::vector<netlist::CellId>& slots() const { return cell_at_; }
+
+  /// Rebuilds state from a permutation produced by slots() (e.g. received
+  /// in a message). The permutation must be over the same netlist/layout.
+  void assign_slots(const std::vector<netlist::CellId>& cell_at_slot);
+
+ private:
+  void rebuild_row(std::size_t row);
+  void rebuild_all_rows();
+
+  const netlist::Netlist* netlist_;
+  const Layout* layout_;
+  std::vector<SlotId> slot_of_;          // by cell id; kNoSlot for pads
+  std::vector<netlist::CellId> cell_at_;  // by slot
+  std::vector<double> x_center_;          // by cell id (gates only)
+  std::vector<double> row_extent_;        // by row
+};
+
+}  // namespace pts::placement

@@ -1,0 +1,34 @@
+// SVG rendering of placements.
+//
+// Draws the row structure, movable cells (shaded by a per-cell intensity,
+// e.g. timing criticality), pads, and optionally the flylines of the
+// longest nets. Useful for eyeballing what the search did; the
+// placement_flow example writes before/after pictures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "placement/hpwl.hpp"
+#include "placement/placement.hpp"
+
+namespace pts::placement {
+
+struct SvgOptions {
+  double scale = 12.0;           ///< pixels per layout unit
+  std::size_t flylines = 12;     ///< draw the N longest nets (0 = none)
+  /// Optional per-cell intensity in [0, 1] (indexed by cell id); cells
+  /// render from light gray (0) to red (1). Empty = uniform.
+  std::vector<double> cell_intensity;
+  std::string title;
+};
+
+/// Renders the placement to a standalone SVG document.
+std::string render_svg(const Placement& placement, const HpwlState& hpwl,
+                       const SvgOptions& options = {});
+
+/// Convenience: render and write to `path`.
+void save_svg(const Placement& placement, const HpwlState& hpwl,
+              const std::string& path, const SvgOptions& options = {});
+
+}  // namespace pts::placement

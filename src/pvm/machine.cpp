@@ -1,0 +1,51 @@
+#include "pvm/machine.hpp"
+
+namespace pts::pvm {
+
+ClusterConfig ClusterConfig::three_class(std::size_t fast, std::size_t medium,
+                                         std::size_t slow, double fast_speed,
+                                         double medium_speed, double slow_speed,
+                                         double jitter) {
+  PTS_CHECK(fast + medium + slow >= 1);
+  ClusterConfig config;
+  config.machines.reserve(fast + medium + slow);
+  // Interleave classes so round-robin task binding spreads fast and slow
+  // machines across both TSWs and CLWs (like a LAN where pvm_spawn places
+  // tasks host by host).
+  std::size_t f = 0, m = 0, s = 0;
+  while (f < fast || m < medium || s < slow) {
+    if (f < fast) {
+      config.machines.push_back({"fast" + std::to_string(f), fast_speed, jitter});
+      ++f;
+    }
+    if (m < medium) {
+      config.machines.push_back(
+          {"medium" + std::to_string(m), medium_speed, jitter});
+      ++m;
+    }
+    if (s < slow) {
+      config.machines.push_back({"slow" + std::to_string(s), slow_speed, jitter});
+      ++s;
+    }
+  }
+  return config;
+}
+
+ClusterConfig ClusterConfig::paper_cluster(double jitter) {
+  // Three speed classes per Section 5; ratios follow typical same-era
+  // workstation generations (each class ~25% slower than the previous).
+  return three_class(7, 3, 2, 1.0, 0.75, 0.5, jitter);
+}
+
+ClusterConfig ClusterConfig::homogeneous(std::size_t n, double speed,
+                                         double jitter) {
+  PTS_CHECK(n >= 1);
+  ClusterConfig config;
+  config.machines.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    config.machines.push_back({"m" + std::to_string(i), speed, jitter});
+  }
+  return config;
+}
+
+}  // namespace pts::pvm

@@ -1,0 +1,65 @@
+#include "pvm/mailbox.hpp"
+
+namespace pts::pvm {
+
+void Mailbox::deliver(Message message) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return;
+    queue_.push_back(std::move(message));
+  }
+  cv_.notify_all();
+}
+
+std::optional<Message> Mailbox::pop_matching_locked(int tag) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (tag == kAnyTag || it->tag() == tag) {
+      Message m = std::move(*it);
+      queue_.erase(it);
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Message> Mailbox::recv(int tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (auto m = pop_matching_locked(tag)) return m;
+    if (closed_) return std::nullopt;
+    cv_.wait(lock);
+  }
+}
+
+bool Mailbox::probe(int tag) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& m : queue_) {
+    if (tag == kAnyTag || m.tag() == tag) return true;
+  }
+  return false;
+}
+
+std::optional<Message> Mailbox::try_recv(int tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pop_matching_locked(tag);
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void Mailbox::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool Mailbox::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+}  // namespace pts::pvm

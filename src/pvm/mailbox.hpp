@@ -1,0 +1,51 @@
+// Thread-safe per-task message queue.
+//
+// recv() blocks until a message with a matching tag arrives (kAnyTag
+// matches everything, like pvm_recv(-1, -1)); probe() is the non-blocking
+// test. close() wakes all blocked receivers — a closed, drained mailbox
+// returns std::nullopt from recv, which is how tasks learn the VM is
+// shutting down.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "pvm/message.hpp"
+
+namespace pts::pvm {
+
+inline constexpr int kAnyTag = -1;
+
+class Mailbox {
+ public:
+  /// Enqueues a message (no-op if the mailbox is closed).
+  void deliver(Message message);
+
+  /// Blocks for the first message whose tag matches `tag` (FIFO within the
+  /// matching subset). Returns nullopt only when closed and no matching
+  /// message remains.
+  std::optional<Message> recv(int tag = kAnyTag);
+
+  /// Non-blocking: true if a matching message is queued.
+  bool probe(int tag = kAnyTag) const;
+
+  /// Non-blocking receive.
+  std::optional<Message> try_recv(int tag = kAnyTag);
+
+  std::size_t pending() const;
+
+  void close();
+  bool closed() const;
+
+ private:
+  std::optional<Message> pop_matching_locked(int tag);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace pts::pvm

@@ -1,0 +1,73 @@
+#include "pvm/message.hpp"
+
+namespace pts::pvm {
+
+void Message::put_raw(const void* data, std::size_t n) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  buffer_.insert(buffer_.end(), bytes, bytes + n);
+}
+
+void Message::get_raw(void* data, std::size_t n) {
+  PTS_CHECK_MSG(cursor_ + n <= buffer_.size(), "message underflow");
+  std::memcpy(data, buffer_.data() + cursor_, n);
+  cursor_ += n;
+}
+
+void Message::expect_marker(Marker m) {
+  PTS_CHECK_MSG(cursor_ < buffer_.size(), "message underflow");
+  const auto got = static_cast<Marker>(buffer_[cursor_]);
+  PTS_CHECK_MSG(got == m, "message field type mismatch (unpack order?)");
+  ++cursor_;
+}
+
+void Message::pack_string(const std::string& s) {
+  put_marker(Marker::Str);
+  const auto n = static_cast<std::uint64_t>(s.size());
+  put_raw(&n, sizeof(n));
+  put_raw(s.data(), s.size());
+}
+
+std::string Message::unpack_string() {
+  expect_marker(Marker::Str);
+  std::uint64_t n = 0;
+  get_raw(&n, sizeof(n));
+  PTS_CHECK_MSG(cursor_ + n <= buffer_.size(), "message underflow");
+  std::string s(reinterpret_cast<const char*>(buffer_.data() + cursor_),
+                static_cast<std::size_t>(n));
+  cursor_ += static_cast<std::size_t>(n);
+  return s;
+}
+
+void Message::pack_u32_vector(const std::vector<std::uint32_t>& v) {
+  put_marker(Marker::VecU32);
+  const auto n = static_cast<std::uint64_t>(v.size());
+  put_raw(&n, sizeof(n));
+  put_raw(v.data(), v.size() * sizeof(std::uint32_t));
+}
+
+std::vector<std::uint32_t> Message::unpack_u32_vector() {
+  expect_marker(Marker::VecU32);
+  std::uint64_t n = 0;
+  get_raw(&n, sizeof(n));
+  std::vector<std::uint32_t> v(static_cast<std::size_t>(n));
+  get_raw(v.data(), v.size() * sizeof(std::uint32_t));
+  return v;
+}
+
+void Message::pack_double_vector(const std::vector<double>& v) {
+  put_marker(Marker::VecF64);
+  const auto n = static_cast<std::uint64_t>(v.size());
+  put_raw(&n, sizeof(n));
+  put_raw(v.data(), v.size() * sizeof(double));
+}
+
+std::vector<double> Message::unpack_double_vector() {
+  expect_marker(Marker::VecF64);
+  std::uint64_t n = 0;
+  get_raw(&n, sizeof(n));
+  std::vector<double> v(static_cast<std::size_t>(n));
+  get_raw(v.data(), v.size() * sizeof(double));
+  return v;
+}
+
+}  // namespace pts::pvm

@@ -1,0 +1,99 @@
+#include "pvm/vm.hpp"
+
+#include <chrono>
+
+#include "support/log.hpp"
+
+namespace pts::pvm {
+
+void TaskContext::send(TaskId to, Message message) {
+  vm_->route(id_, to, std::move(message));
+}
+
+void TaskContext::charge(double units) {
+  const double t = profile_.time_for(units, rng_);
+  virtual_time_ += t;
+  const double spu = vm_->seconds_per_unit_;
+  if (spu <= 0.0) return;
+  // Batch tiny sleeps: syscalls per work unit would dominate the run.
+  sleep_debt_ += t * spu;
+  constexpr double kMinSleep = 200e-6;
+  if (sleep_debt_ >= kMinSleep) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(sleep_debt_));
+    sleep_debt_ = 0.0;
+  }
+}
+
+VirtualMachine::VirtualMachine(ClusterConfig cluster, std::uint64_t seed,
+                               double seconds_per_unit)
+    : cluster_(std::move(cluster)),
+      seed_rng_(seed),
+      seconds_per_unit_(seconds_per_unit) {
+  PTS_CHECK(!cluster_.machines.empty());
+  // Task 0: the host (master) runs on the calling thread.
+  auto state = std::make_unique<TaskState>();
+  state->context.reset(new TaskContext(this, 0, "host",
+                                       cluster_.machine_for_task(0),
+                                       &state->mailbox, seed_rng_.fork(0)));
+  tasks_.push_back(std::move(state));
+}
+
+VirtualMachine::~VirtualMachine() { shutdown(); }
+
+TaskContext& VirtualMachine::host() {
+  std::lock_guard<std::mutex> lock(tasks_mutex_);
+  return *tasks_.front()->context;
+}
+
+TaskId VirtualMachine::spawn(const std::string& name,
+                             std::function<void(TaskContext&)> body) {
+  std::lock_guard<std::mutex> lock(tasks_mutex_);
+  PTS_CHECK_MSG(!shut_down_, "spawn after shutdown");
+  const auto id = static_cast<TaskId>(tasks_.size());
+  auto state = std::make_unique<TaskState>();
+  state->context.reset(
+      new TaskContext(this, id, name,
+                      cluster_.machine_for_task(static_cast<std::size_t>(id)),
+                      &state->mailbox,
+                      seed_rng_.fork(static_cast<std::uint64_t>(id))));
+  TaskContext* context = state->context.get();
+  state->thread = std::thread([context, fn = std::move(body), name] {
+    fn(*context);
+    log_debug(name) << "task finished";
+  });
+  tasks_.push_back(std::move(state));
+  return id;
+}
+
+std::size_t VirtualMachine::num_tasks() const {
+  std::lock_guard<std::mutex> lock(tasks_mutex_);
+  return tasks_.size();
+}
+
+void VirtualMachine::route(TaskId from, TaskId to, Message message) {
+  message.set_sender(from);
+  Mailbox* mailbox = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(tasks_mutex_);
+    PTS_CHECK_MSG(to >= 0 && static_cast<std::size_t>(to) < tasks_.size(),
+                  "send to unknown task");
+    mailbox = &tasks_[static_cast<std::size_t>(to)]->mailbox;
+  }
+  mailbox->deliver(std::move(message));
+}
+
+void VirtualMachine::shutdown() {
+  std::vector<std::thread> joinable;
+  {
+    std::lock_guard<std::mutex> lock(tasks_mutex_);
+    if (shut_down_) return;
+    shut_down_ = true;
+    for (auto& task : tasks_) task->mailbox.close();
+    for (auto& task : tasks_) {
+      if (task->thread.joinable()) joinable.push_back(std::move(task->thread));
+    }
+  }
+  for (auto& thread : joinable) thread.join();
+}
+
+}  // namespace pts::pvm

@@ -1,0 +1,120 @@
+// Threaded parallel virtual machine (the PVM substitute).
+//
+// A VirtualMachine hosts tasks, each on its own std::thread with a private
+// Mailbox, bound round-robin to the machines of a ClusterConfig. The
+// calling thread is task 0 ("host", the paper's master process).
+//
+// Heterogeneity on a single computer: tasks meter their computation through
+// TaskContext::charge(units). Charging accrues *virtual time* units/speed
+// (used by measurements) and, when `seconds_per_unit > 0`, also throttles
+// the thread in real time so slow "machines" demonstrably lag fast ones —
+// that is what the heterogeneous-collection examples show. Virtual time is
+// the meaningful clock; real throttling is presentation only.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pvm/machine.hpp"
+#include "pvm/mailbox.hpp"
+#include "pvm/message.hpp"
+
+namespace pts::pvm {
+
+class VirtualMachine;
+
+class TaskContext {
+ public:
+  TaskId self() const { return id_; }
+  const std::string& name() const { return name_; }
+  const MachineProfile& machine() const { return profile_; }
+
+  void send(TaskId to, Message message);
+  /// Blocking receive; nullopt only after the VM shuts the mailbox down.
+  std::optional<Message> recv(int tag = kAnyTag) { return mailbox_->recv(tag); }
+  std::optional<Message> try_recv(int tag = kAnyTag) {
+    return mailbox_->try_recv(tag);
+  }
+  bool probe(int tag = kAnyTag) const { return mailbox_->probe(tag); }
+
+  /// Meters `units` of work on this task's machine (see file comment).
+  void charge(double units);
+
+  /// Accumulated virtual seconds of metered work on this task.
+  double virtual_time() const { return virtual_time_; }
+
+  /// Task-private deterministic RNG (forked from the VM seed).
+  Rng& rng() { return rng_; }
+
+  /// The owning virtual machine (tasks spawn children through it, like a
+  /// PVM task calling pvm_spawn).
+  VirtualMachine& vm() { return *vm_; }
+
+ private:
+  friend class VirtualMachine;
+  TaskContext(VirtualMachine* vm, TaskId id, std::string name,
+              MachineProfile profile, Mailbox* mailbox, Rng rng)
+      : vm_(vm),
+        id_(id),
+        name_(std::move(name)),
+        profile_(std::move(profile)),
+        mailbox_(mailbox),
+        rng_(rng) {}
+
+  VirtualMachine* vm_;
+  TaskId id_;
+  std::string name_;
+  MachineProfile profile_;
+  Mailbox* mailbox_;
+  Rng rng_;
+  double virtual_time_ = 0.0;
+  double sleep_debt_ = 0.0;
+};
+
+class VirtualMachine {
+ public:
+  /// `seconds_per_unit` > 0 enables real-time throttling of charge().
+  explicit VirtualMachine(ClusterConfig cluster, std::uint64_t seed = 1,
+                          double seconds_per_unit = 0.0);
+  ~VirtualMachine();
+
+  VirtualMachine(const VirtualMachine&) = delete;
+  VirtualMachine& operator=(const VirtualMachine&) = delete;
+
+  /// The calling thread's context (task 0, the master).
+  TaskContext& host();
+
+  /// Starts a task; its body runs immediately on a new thread. Tasks are
+  /// bound to cluster machines round-robin in spawn order (host included).
+  TaskId spawn(const std::string& name, std::function<void(TaskContext&)> body);
+
+  std::size_t num_tasks() const;
+  const ClusterConfig& cluster() const { return cluster_; }
+
+  /// Closes every mailbox (unblocking all recv calls) and joins all task
+  /// threads. Called by the destructor if not invoked explicitly.
+  void shutdown();
+
+ private:
+  friend class TaskContext;
+  struct TaskState {
+    std::unique_ptr<TaskContext> context;
+    Mailbox mailbox;
+    std::thread thread;
+  };
+
+  void route(TaskId from, TaskId to, Message message);
+
+  ClusterConfig cluster_;
+  Rng seed_rng_;
+  double seconds_per_unit_;
+  mutable std::mutex tasks_mutex_;
+  std::vector<std::unique_ptr<TaskState>> tasks_;
+  bool shut_down_ = false;
+};
+
+}  // namespace pts::pvm

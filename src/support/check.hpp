@@ -1,0 +1,38 @@
+// Lightweight runtime contract checks used across the library.
+//
+// PTS_CHECK is always on (it guards algorithmic invariants whose violation
+// would silently corrupt a search run); PTS_DCHECK compiles out in release
+// builds and is reserved for hot-loop assertions.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pts {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "PTS_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace pts
+
+#define PTS_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) ::pts::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define PTS_CHECK_MSG(expr, msg)                                        \
+  do {                                                                  \
+    if (!(expr)) ::pts::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#ifdef NDEBUG
+#define PTS_DCHECK(expr) \
+  do {                   \
+  } while (false)
+#else
+#define PTS_DCHECK(expr) PTS_CHECK(expr)
+#endif

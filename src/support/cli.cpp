@@ -1,0 +1,72 @@
+#include "support/cli.hpp"
+
+#include <cstdlib>
+
+namespace pts {
+
+Cli::Cli(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(token));
+      continue;
+    }
+    token.erase(0, 2);
+    const auto eq = token.find('=');
+    if (eq != std::string::npos) {
+      options_[token.substr(0, eq)] = token.substr(eq + 1);
+      continue;
+    }
+    // `--name value` unless the next token is another option or missing;
+    // then it is a boolean flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[token] = argv[++i];
+    } else {
+      options_[token] = "true";
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const {
+  queried_[name] = true;
+  return options_.count(name) != 0;
+}
+
+std::string Cli::get(const std::string& name, const std::string& fallback) const {
+  queried_[name] = true;
+  const auto it = options_.find(name);
+  return it == options_.end() ? fallback : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t fallback) const {
+  const auto it = options_.find(name);
+  queried_[name] = true;
+  if (it == options_.end()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  const auto it = options_.find(name);
+  queried_[name] = true;
+  if (it == options_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::get_flag(const std::string& name, bool fallback) const {
+  const auto it = options_.find(name);
+  queried_[name] = true;
+  if (it == options_.end()) return fallback;
+  return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+std::vector<std::string> Cli::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : options_) {
+    (void)value;
+    if (queried_.find(name) == queried_.end()) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace pts

@@ -1,0 +1,41 @@
+// Tiny command-line option parser shared by examples and bench binaries.
+//
+// Supports `--name value`, `--name=value`, and boolean flags (`--quick`).
+// Unknown options are collected so google-benchmark flags can pass through
+// bench binaries untouched.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pts {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_flag(const std::string& name, bool fallback = false) const;
+
+  /// Positional arguments (non `--` tokens).
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Options the binary did not query; useful for strict-mode validation.
+  std::vector<std::string> unused() const;
+
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace pts

@@ -1,0 +1,42 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace pts {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Info};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void log_line(LogLevel level, const std::string& tag, const std::string& message) {
+  if (level < g_level.load(std::memory_order_relaxed) || message.empty()) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (tag.empty()) {
+    std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] (%s) %s\n", level_name(level), tag.c_str(),
+                 message.c_str());
+  }
+}
+
+}  // namespace pts

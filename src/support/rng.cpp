@@ -1,0 +1,9 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+namespace pts {
+
+double Rng::sqrt_neg2_log(double s) { return std::sqrt(-2.0 * std::log(s) / s); }
+
+}  // namespace pts

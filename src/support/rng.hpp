@@ -1,0 +1,171 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the library (netlist generator, initial
+// placement, candidate-list sampling, diversification, machine-load jitter)
+// draws from an explicitly seeded pts::Rng so that whole experiments are
+// reproducible bit-for-bit. Rng::fork() derives statistically independent
+// child streams, which is how parallel workers (TSWs / CLWs) obtain their
+// own generators without sharing state.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace pts {
+
+/// SplitMix64 — used for seeding and stream derivation (Steele et al.).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — the library-wide generator.
+/// Satisfies UniformRandomBitGenerator so it can drive <random> if needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four-word state from a single seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x5eed'0f'7ab00ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+    // An all-zero state is the one forbidden fixed point.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[3] = 0x1ULL;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  std::uint64_t operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection
+  /// method; unbiased for every bound.
+  std::uint64_t below(std::uint64_t bound) {
+    PTS_CHECK(bound > 0);
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) {
+    PTS_CHECK(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Bernoulli draw.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double f = sqrt_neg2_log(s);
+    spare_ = v * f;
+    has_spare_ = true;
+    return u * f;
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Two distinct indices in [0, n), n >= 2.
+  std::pair<std::size_t, std::size_t> distinct_pair(std::size_t n) {
+    PTS_CHECK(n >= 2);
+    const auto a = static_cast<std::size_t>(below(n));
+    auto b = static_cast<std::size_t>(below(n - 1));
+    if (b >= a) ++b;
+    return {a, b};
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Pick a uniformly random element (vector must be non-empty).
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    PTS_CHECK(!v.empty());
+    return v[static_cast<std::size_t>(below(v.size()))];
+  }
+
+  /// Derives an independent child stream; `salt` distinguishes siblings.
+  /// Forking is how master/TSW/CLW processes obtain private generators.
+  Rng fork(std::uint64_t salt) {
+    SplitMix64 sm(next() ^ (salt * 0x9e3779b97f4a7c15ULL + 0x517cc1b727220a95ULL));
+    return Rng(sm.next());
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  static double sqrt_neg2_log(double s);
+
+  std::uint64_t s_[4]{};
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace pts

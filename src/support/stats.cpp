@@ -1,0 +1,104 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace pts {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double quantile(std::vector<double> samples, double q) {
+  PTS_CHECK(!samples.empty());
+  PTS_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+double Series::last_y() const {
+  PTS_CHECK(!y.empty());
+  return y.back();
+}
+
+double Series::min_y() const {
+  PTS_CHECK(!y.empty());
+  return *std::min_element(y.begin(), y.end());
+}
+
+double Series::first_x_reaching(double threshold) const {
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (y[i] <= threshold) return x[i];
+  }
+  return -1.0;
+}
+
+double Series::y_at(double at) const {
+  PTS_CHECK(!x.empty());
+  PTS_CHECK(at >= x.front());
+  double value = y.front();
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (x[i] > at) break;
+    value = y[i];
+  }
+  return value;
+}
+
+Series Series::downsample(std::size_t max_points) const {
+  PTS_CHECK(max_points >= 2);
+  if (size() <= max_points) return *this;
+  Series out;
+  out.name = name;
+  const double stride =
+      static_cast<double>(size() - 1) / static_cast<double>(max_points - 1);
+  for (std::size_t i = 0; i < max_points; ++i) {
+    const auto idx = static_cast<std::size_t>(
+        std::llround(static_cast<double>(i) * stride));
+    out.add(x[idx], y[idx]);
+  }
+  return out;
+}
+
+}  // namespace pts

@@ -1,0 +1,72 @@
+// Running statistics and sampled series.
+//
+// RunningStats uses Welford's update so long experiment sweeps can
+// accumulate means/variances without storing samples. Series stores (x, y)
+// points for the figure harnesses (cost-vs-iteration, quality-vs-workers).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pts {
+
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 for fewer than two samples).
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator (parallel reduction, Chan et al.).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Quantile of a sample set via linear interpolation (type-7, like numpy).
+/// `q` in [0, 1]; the input vector is copied and sorted.
+double quantile(std::vector<double> samples, double q);
+
+/// A named (x, y) series, the unit of output of every figure harness.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+
+  void add(double xv, double yv) {
+    x.push_back(xv);
+    y.push_back(yv);
+  }
+  std::size_t size() const { return x.size(); }
+
+  /// y at the largest sampled x (the "final" value of a trace).
+  double last_y() const;
+  double min_y() const;
+
+  /// First x whose y is <= threshold, or -1 if never reached. Used for the
+  /// paper's speedup definition: time to hit an x-quality solution.
+  double first_x_reaching(double threshold) const;
+
+  /// Step-function evaluation: y of the last point with x <= `at`. Requires
+  /// ascending x and at >= x.front(). Used to compare trajectories at a
+  /// shared time instant.
+  double y_at(double at) const;
+
+  /// Downsamples to at most `max_points` points (keeps first and last).
+  Series downsample(std::size_t max_points) const;
+};
+
+}  // namespace pts

@@ -1,0 +1,27 @@
+// Wall-clock stopwatch for the threaded engine and examples. Figure benches
+// use virtual time from pts::sim instead (see DESIGN.md §5).
+#pragma once
+
+#include <chrono>
+
+namespace pts {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pts

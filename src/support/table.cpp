@@ -1,0 +1,107 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace pts {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  PTS_CHECK(!header_.empty());
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  PTS_CHECK_MSG(cells.size() == header_.size(), "row width must match header");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+Table& Table::add_row(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> out;
+  out.reserve(cells.size());
+  for (double v : cells) out.push_back(fmt(v, precision));
+  return add_row(std::move(out));
+}
+
+std::string Table::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void Table::print(std::ostream& os) const { os << to_string(); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << row[c];
+      for (std::size_t pad = row[c].size(); pad < width[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c)
+    total += width[c] + (c == 0 ? 0 : 2);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << "csv";
+    for (const auto& cell : row) os << ',' << cell;
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+Table series_table(const std::string& x_name, const std::vector<Series>& series,
+                   int precision) {
+  PTS_CHECK(!series.empty());
+  std::vector<std::string> header{x_name};
+  for (const auto& s : series) header.push_back(s.name);
+
+  // Collect the union of x values in ascending order, then align each
+  // series on them.
+  std::map<double, std::vector<std::string>> rows;
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    for (std::size_t i = 0; i < series[si].size(); ++i) {
+      auto& row = rows[series[si].x[i]];
+      row.resize(series.size());
+      row[si] = Table::fmt(series[si].y[i], precision);
+    }
+  }
+  Table table(std::move(header));
+  for (auto& [x, cells] : rows) {
+    std::vector<std::string> row{Table::fmt(x, precision)};
+    cells.resize(series.size());
+    for (auto& cell : cells) row.push_back(cell);
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+void emit_table(const std::string& title, const Table& table, bool with_csv) {
+  std::cout << "\n== " << title << " ==\n" << table.to_string();
+  if (with_csv) std::cout << table.to_csv();
+  std::cout.flush();
+}
+
+}  // namespace pts

@@ -1,0 +1,47 @@
+// Plain-text table and CSV emitters used by every bench binary so that the
+// paper's figures can be regenerated as aligned console tables plus
+// machine-readable CSV blocks.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "support/stats.hpp"
+
+namespace pts {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format with
+/// fixed precision so series line up visually.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` digits after the point.
+  Table& add_row(const std::vector<double>& cells, int precision = 3);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+  std::string to_csv() const;
+
+  static std::string fmt(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a set of same-x series as one table: first column x, one column
+/// per series. Series may have different lengths; missing cells are blank.
+Table series_table(const std::string& x_name, const std::vector<Series>& series,
+                   int precision = 3);
+
+/// Writes `table` to stdout framed by a title line and a trailing CSV block
+/// (prefixed with "csv," so downstream tooling can grep it out).
+void emit_table(const std::string& title, const Table& table, bool with_csv = true);
+
+}  // namespace pts

@@ -1,0 +1,36 @@
+#include "tabu/candidate.hpp"
+
+#include "support/check.hpp"
+
+namespace pts::tabu {
+
+std::vector<CellRange> partition_cells(std::size_t num_movable, std::size_t workers) {
+  PTS_CHECK(workers >= 1);
+  std::vector<CellRange> ranges(workers);
+  const std::size_t base = num_movable / workers;
+  const std::size_t extra = num_movable % workers;
+  std::size_t cursor = 0;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t len = base + (w < extra ? 1 : 0);
+    ranges[w] = {cursor, cursor + len};
+    cursor += len;
+  }
+  PTS_CHECK(cursor == num_movable);
+  return ranges;
+}
+
+Move sample_move(const netlist::Netlist& netlist, const CellRange& range, Rng& rng) {
+  const auto& movable = netlist.movable_cells();
+  PTS_CHECK_MSG(movable.size() >= 2, "need at least two movable cells to swap");
+  PTS_CHECK_MSG(!range.empty(), "cannot sample from an empty range");
+  PTS_CHECK(range.end <= movable.size());
+
+  const auto first_idx =
+      range.begin + static_cast<std::size_t>(rng.below(range.size()));
+  // Second cell uniform over the whole space, excluding the first.
+  auto second_idx = static_cast<std::size_t>(rng.below(movable.size() - 1));
+  if (second_idx >= first_idx) ++second_idx;
+  return Move{movable[first_idx], movable[second_idx]};
+}
+
+}  // namespace pts::tabu

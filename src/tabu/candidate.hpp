@@ -1,0 +1,42 @@
+// Candidate move sampling with cell ranges.
+//
+// Parallel workers partition the movable cells into ranges. Every candidate
+// swap picks its first cell from the worker's range and the second from the
+// whole cell space (paper §4.1) — this makes the probability that two
+// workers generate the identical move 1/(n-1)^2 and the probability that
+// more than two collide zero.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "support/rng.hpp"
+#include "tabu/move.hpp"
+
+namespace pts::tabu {
+
+/// Half-open index range into Netlist::movable_cells().
+struct CellRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  std::size_t size() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+};
+
+/// Splits `num_movable` cells into `workers` contiguous ranges whose sizes
+/// differ by at most one. Workers beyond num_movable get empty ranges.
+std::vector<CellRange> partition_cells(std::size_t num_movable, std::size_t workers);
+
+/// The whole cell space as a single range.
+inline CellRange full_range(const netlist::Netlist& netlist) {
+  return {0, netlist.num_movable()};
+}
+
+/// Samples a swap: first cell uniform in `range`, second uniform over all
+/// movable cells, distinct from the first. Requires >= 2 movable cells and
+/// a non-empty range.
+Move sample_move(const netlist::Netlist& netlist, const CellRange& range, Rng& rng);
+
+}  // namespace pts::tabu

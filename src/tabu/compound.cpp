@@ -1,0 +1,49 @@
+#include "tabu/compound.hpp"
+
+namespace pts::tabu {
+
+CompoundMove build_compound_move(cost::Evaluator& eval, const CellRange& range,
+                                 const CompoundParams& params, Rng& rng,
+                                 const FrequencyMemory* memory) {
+  PTS_CHECK(params.width >= 1);
+  PTS_CHECK(params.depth >= 1);
+  const double start_cost = eval.cost();
+  const bool use_memory = memory != nullptr && memory->active();
+
+  CompoundMove compound;
+  compound.cost = start_cost;
+  for (std::size_t level = 0; level < params.depth; ++level) {
+    Move best{};
+    double best_cost = 0.0;
+    bool have_best = false;
+    for (std::size_t trial = 0; trial < params.width; ++trial) {
+      const Move move = sample_move(eval.placement().netlist(), range, rng);
+      double cost_after = eval.apply_swap(move.a, move.b);
+      eval.apply_swap(move.a, move.b);  // undo trial
+      if (use_memory) cost_after = memory->adjusted_cost(move, cost_after);
+      if (!have_best || cost_after < best_cost) {
+        best = move;
+        best_cost = cost_after;
+        have_best = true;
+      }
+    }
+    PTS_CHECK(have_best);
+    // Keep the level's best move (even if it degrades cost — that is what
+    // lets the compound move escape local minima).
+    compound.cost = eval.apply_swap(best.a, best.b);
+    compound.swaps.push_back(best);
+    if (params.early_accept && compound.cost < start_cost) {
+      compound.improved_early = true;
+      break;
+    }
+  }
+  return compound;
+}
+
+void undo_compound(cost::Evaluator& eval, const CompoundMove& move) {
+  for (auto it = move.swaps.rbegin(); it != move.swaps.rend(); ++it) {
+    eval.apply_swap(it->a, it->b);
+  }
+}
+
+}  // namespace pts::tabu

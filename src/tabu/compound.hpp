@@ -1,0 +1,41 @@
+// Compound move construction (the candidate-list worker's core loop).
+//
+// Per the paper: a compound move is built over up to `depth` levels. At each
+// level, `width` candidate pairs are trial-swapped (applied, measured,
+// undone) and the best one is kept and applied. If the running cost drops
+// below the starting cost before reaching max depth, the compound move is
+// accepted immediately without further investigation (early accept).
+//
+// On return the evaluator HAS the compound move applied; undo_compound()
+// reverts it (swaps are involutions, so undo re-applies them in reverse).
+#pragma once
+
+#include "cost/evaluator.hpp"
+#include "support/rng.hpp"
+#include "tabu/candidate.hpp"
+#include "tabu/frequency.hpp"
+#include "tabu/move.hpp"
+
+namespace pts::tabu {
+
+struct CompoundParams {
+  /// m — candidate pairs trialled per level.
+  std::size_t width = 8;
+  /// d — maximum number of levels (swaps) in a compound move.
+  std::size_t depth = 3;
+  /// Early accept: stop as soon as the cost improves on the start cost.
+  bool early_accept = true;
+};
+
+/// Builds and applies a compound move on `eval`, sampling first cells from
+/// `range`. Returns the applied swaps and final cost. When `memory` is
+/// non-null and active, per-level trial ranking uses the long-term
+/// frequency adjustment (true costs are still what the move reports).
+CompoundMove build_compound_move(cost::Evaluator& eval, const CellRange& range,
+                                 const CompoundParams& params, Rng& rng,
+                                 const FrequencyMemory* memory = nullptr);
+
+/// Reverts a compound move previously applied by build_compound_move.
+void undo_compound(cost::Evaluator& eval, const CompoundMove& move);
+
+}  // namespace pts::tabu

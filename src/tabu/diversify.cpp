@@ -1,0 +1,33 @@
+#include "tabu/diversify.hpp"
+
+namespace pts::tabu {
+
+std::vector<Move> diversify(cost::Evaluator& eval, const CellRange& range,
+                            const DiversifyParams& params, Rng& rng) {
+  std::vector<Move> applied;
+  if (!params.enabled || range.empty()) return applied;
+  PTS_CHECK(params.width >= 1);
+  applied.reserve(params.depth);
+  const auto& netlist = eval.placement().netlist();
+  for (std::size_t level = 0; level < params.depth; ++level) {
+    Move best{};
+    double best_cost = 0.0;
+    bool have = false;
+    for (std::size_t trial = 0; trial < params.width; ++trial) {
+      const Move move = sample_move(netlist, range, rng);
+      const double cost_after = eval.apply_swap(move.a, move.b);
+      eval.apply_swap(move.a, move.b);
+      if (!have || cost_after < best_cost) {
+        best = move;
+        best_cost = cost_after;
+        have = true;
+      }
+    }
+    PTS_CHECK(have);
+    eval.apply_swap(best.a, best.b);
+    applied.push_back(best);
+  }
+  return applied;
+}
+
+}  // namespace pts::tabu

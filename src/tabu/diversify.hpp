@@ -1,0 +1,37 @@
+// Diversification (Kelly, Laguna & Glover style, reference [10]).
+//
+// At the start of every global iteration, each TSW diversifies the shared
+// best solution *with respect to its own cell range*: `depth` moves whose
+// first cell comes from the range. A "move" here is the paper's standard
+// move — the best of `width` trial swaps — so diversification walks each
+// TSW along a different, quality-preserving path from the incumbent
+// ("such that a different initial solution is used at each TSW", §4.1).
+// Distinct ranges give every TSW a different starting point, which is what
+// keeps the multi-search threads from exploring overlapping areas and what
+// makes the search MPSS (multiple points, single strategy, §4.3).
+#pragma once
+
+#include "cost/evaluator.hpp"
+#include "support/rng.hpp"
+#include "tabu/candidate.hpp"
+#include "tabu/move.hpp"
+
+namespace pts::tabu {
+
+struct DiversifyParams {
+  /// Number of moves applied during one diversification step.
+  std::size_t depth = 4;
+  /// Trial swaps per move (best one is applied, even if degrading).
+  std::size_t width = 8;
+  /// If false the step is skipped entirely (Figure 9's "no
+  /// diversification" run).
+  bool enabled = true;
+};
+
+/// Applies the diversification step to `eval`'s current solution. Returns
+/// the applied moves (diversification is kept, not undone). The number of
+/// trial evaluations charged to the TSW is depth * width.
+std::vector<Move> diversify(cost::Evaluator& eval, const CellRange& range,
+                            const DiversifyParams& params, Rng& rng);
+
+}  // namespace pts::tabu

@@ -1,0 +1,58 @@
+#include "tabu/frequency.hpp"
+
+#include <algorithm>
+
+namespace pts::tabu {
+
+FrequencyMemory::FrequencyMemory(std::size_t num_cells, FrequencyParams params)
+    : params_(params),
+      counts_(num_cells, 0),
+      improving_counts_(num_cells, 0) {}
+
+void FrequencyMemory::record(const Move& move, bool improved) {
+  PTS_DCHECK(move.a < counts_.size() && move.b < counts_.size());
+  ++transitions_;
+  for (netlist::CellId cell : {move.a, move.b}) {
+    max_count_ = std::max(max_count_, ++counts_[cell]);
+    if (improved) {
+      max_improving_ = std::max(max_improving_, ++improving_counts_[cell]);
+    }
+  }
+}
+
+double FrequencyMemory::normalized(const std::vector<std::uint64_t>& counts,
+                                   netlist::CellId cell) const {
+  const std::uint64_t max =
+      &counts == &counts_ ? max_count_ : max_improving_;
+  if (max == 0) return 0.0;
+  return static_cast<double>(counts[cell]) / static_cast<double>(max);
+}
+
+double FrequencyMemory::adjusted_cost(const Move& move,
+                                      double candidate_cost) const {
+  switch (params_.mode) {
+    case LongTermMode::Off:
+      return candidate_cost;
+    case LongTermMode::Diversify: {
+      const double activity =
+          0.5 * (normalized(counts_, move.a) + normalized(counts_, move.b));
+      return candidate_cost + params_.strength * activity;
+    }
+    case LongTermMode::Intensify: {
+      const double affinity = 0.5 * (normalized(improving_counts_, move.a) +
+                                     normalized(improving_counts_, move.b));
+      return candidate_cost - params_.strength * affinity;
+    }
+  }
+  return candidate_cost;
+}
+
+void FrequencyMemory::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  std::fill(improving_counts_.begin(), improving_counts_.end(), 0);
+  transitions_ = 0;
+  max_count_ = 0;
+  max_improving_ = 0;
+}
+
+}  // namespace pts::tabu

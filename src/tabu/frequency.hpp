@@ -1,0 +1,76 @@
+// Long-term (frequency-based) memory.
+//
+// The paper's introduction (§1) lists the classic long-term memory uses of
+// tabu search: diversification "force new solutions to have different
+// features from previously visited ones" and intensification "force the
+// new solution to have some features that have been seen in recent good
+// solutions". This module implements the standard transition-frequency
+// realization (Glover & Laguna ch. 4):
+//
+//  - every accepted move increments the participating cells' counters;
+//  - in Diversify mode, candidate moves touching over-active cells are
+//    penalized in proportion to their normalized frequency;
+//  - in Intensify mode, moves touching cells that participated in
+//    improving moves are rewarded.
+//
+// The penalty is applied at selection time only (the true cost is never
+// modified), which is how frequency memory composes with the fuzzy cost.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "tabu/move.hpp"
+
+namespace pts::tabu {
+
+enum class LongTermMode { Off, Diversify, Intensify };
+
+struct FrequencyParams {
+  LongTermMode mode = LongTermMode::Off;
+  /// Penalty/reward magnitude relative to the cost scale (the fuzzy cost
+  /// lives in ~[0, 1], so a few percent is a meaningful nudge).
+  double strength = 0.02;
+};
+
+class FrequencyMemory {
+ public:
+  FrequencyMemory(std::size_t num_cells, FrequencyParams params);
+
+  const FrequencyParams& params() const { return params_; }
+  bool active() const { return params_.mode != LongTermMode::Off; }
+
+  /// Records an accepted move; `improved` marks improving transitions
+  /// (used by Intensify mode).
+  void record(const Move& move, bool improved);
+
+  /// Total accepted transitions recorded.
+  std::uint64_t transitions() const { return transitions_; }
+
+  std::uint64_t count(netlist::CellId cell) const {
+    PTS_DCHECK(cell < counts_.size());
+    return counts_[cell];
+  }
+
+  /// Selection-time adjustment for a candidate move that reached
+  /// `candidate_cost`: Diversify adds a penalty for frequently moved
+  /// cells, Intensify subtracts a reward for cells seen in improving
+  /// moves. Returns the adjusted cost used for ranking only.
+  double adjusted_cost(const Move& move, double candidate_cost) const;
+
+  void reset();
+
+ private:
+  double normalized(const std::vector<std::uint64_t>& counts,
+                    netlist::CellId cell) const;
+
+  FrequencyParams params_;
+  std::vector<std::uint64_t> counts_;           ///< all accepted moves
+  std::vector<std::uint64_t> improving_counts_; ///< improving moves only
+  std::uint64_t transitions_ = 0;
+  std::uint64_t max_count_ = 0;
+  std::uint64_t max_improving_ = 0;
+};
+
+}  // namespace pts::tabu

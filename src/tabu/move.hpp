@@ -1,0 +1,46 @@
+// Move primitives for placement tabu search.
+//
+// A move swaps the slots of two movable cells. Tabu attributes are the
+// normalized cell pair (order-independent) or, optionally, the individual
+// cells. A compound move (paper §3) is a short sequence of swaps built
+// greedily level by level.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace pts::tabu {
+
+struct Move {
+  netlist::CellId a = netlist::kNoCell;
+  netlist::CellId b = netlist::kNoCell;
+
+  /// Order-independent identity: (min, max).
+  Move normalized() const { return a <= b ? Move{a, b} : Move{b, a}; }
+
+  bool operator==(const Move& other) const {
+    const Move x = normalized();
+    const Move y = other.normalized();
+    return x.a == y.a && x.b == y.b;
+  }
+
+  /// Stable 64-bit key of the normalized pair.
+  std::uint64_t key() const {
+    const Move n = normalized();
+    return (static_cast<std::uint64_t>(n.a) << 32) | n.b;
+  }
+};
+
+/// A compound move: the swap sequence applied and the cost it reached.
+struct CompoundMove {
+  std::vector<Move> swaps;
+  double cost = 0.0;
+  /// True if the early-accept rule fired (cost improved before max depth).
+  bool improved_early = false;
+
+  bool empty() const { return swaps.empty(); }
+};
+
+}  // namespace pts::tabu

@@ -1,0 +1,83 @@
+#include "tabu/search.hpp"
+
+namespace pts::tabu {
+
+bool compound_is_tabu(const TabuList& list, const CompoundMove& move) {
+  for (const Move& swap : move.swaps) {
+    if (list.is_tabu(swap)) return true;
+  }
+  return false;
+}
+
+void record_compound(TabuList& list, const CompoundMove& move) {
+  for (const Move& swap : move.swaps) list.record(swap);
+}
+
+TabuSearch::TabuSearch(cost::Evaluator& eval, const TabuParams& params, Rng rng)
+    : eval_(&eval),
+      params_(params),
+      rng_(rng),
+      list_(params.tenure, params.attribute),
+      frequency_(eval.placement().netlist().num_cells(), params.frequency),
+      best_cost_(eval.cost()),
+      best_quality_(eval.quality()),
+      best_objectives_(eval.objectives()),
+      best_slots_(eval.placement().slots()) {}
+
+void TabuSearch::update_best() {
+  const double cost = eval_->cost();
+  if (cost < best_cost_) {
+    best_cost_ = cost;
+    best_quality_ = eval_->quality();
+    best_objectives_ = eval_->objectives();
+    best_slots_ = eval_->placement().slots();
+  }
+}
+
+void TabuSearch::note_external_solution() { update_best(); }
+
+bool TabuSearch::iterate(const CellRange& range) {
+  ++stats_.iterations;
+  const double cost_before = eval_->cost();
+  const CompoundMove move =
+      build_compound_move(*eval_, range, params_.compound, rng_, &frequency_);
+  if (move.improved_early) ++stats_.early_accepts;
+
+  if (compound_is_tabu(list_, move)) {
+    const bool aspirated = params_.aspiration && move.cost < best_cost_;
+    if (!aspirated) {
+      undo_compound(*eval_, move);
+      ++stats_.rejected_tabu;
+      return false;
+    }
+    ++stats_.aspirated;
+  }
+  record_compound(list_, move);
+  const bool improved = move.cost < cost_before;
+  for (const Move& swap : move.swaps) frequency_.record(swap, improved);
+  ++stats_.accepted;
+  update_best();
+  return true;
+}
+
+SearchResult TabuSearch::run() {
+  const CellRange range = full_range(eval_->placement().netlist());
+  SearchResult result;
+  result.cost_trace.name = "cost";
+  result.best_trace.name = "best";
+  for (std::size_t iter = 0; iter < params_.iterations; ++iter) {
+    iterate(range);
+    if (params_.trace_stride != 0 && iter % params_.trace_stride == 0) {
+      result.cost_trace.add(static_cast<double>(iter), eval_->cost());
+      result.best_trace.add(static_cast<double>(iter), best_cost_);
+    }
+  }
+  result.best_cost = best_cost_;
+  result.best_quality = best_quality_;
+  result.best_objectives = best_objectives_;
+  result.best_slots = best_slots_;
+  result.stats = stats_;
+  return result;
+}
+
+}  // namespace pts::tabu

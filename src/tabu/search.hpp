@@ -1,0 +1,113 @@
+// Sequential tabu search engine (Figure 1 of the paper).
+//
+// One iteration: build a compound move from the candidate list (best of m
+// trial pairs per level, up to depth d, early accept on improvement), then
+// apply the tabu test — a compound move is tabu iff any of its constituent
+// swaps is tabu (documented choice; the paper tests "the move" without
+// specifying composition). A tabu move is still accepted when the
+// best-cost aspiration criterion fires. Rejected moves are undone and the
+// iteration counts as unproductive.
+//
+// The same engine runs standalone (this header's TabuSearch::run) and as
+// the inner loop of every TSW in the parallel engines.
+#pragma once
+
+#include <vector>
+
+#include "cost/evaluator.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "tabu/compound.hpp"
+#include "tabu/diversify.hpp"
+#include "tabu/tabu_list.hpp"
+
+namespace pts::tabu {
+
+struct TabuParams {
+  std::size_t tenure = 10;
+  TabuAttribute attribute = TabuAttribute::CellPair;
+  CompoundParams compound;
+  /// Long-term frequency memory (Off by default; sequential engine only).
+  FrequencyParams frequency;
+  /// Best-cost aspiration: accept a tabu move that beats the best cost.
+  bool aspiration = true;
+  /// Number of iterations for standalone runs (TSWs use their local
+  /// iteration budget instead).
+  std::size_t iterations = 200;
+  /// Record cost traces every `trace_stride` iterations (0 disables).
+  std::size_t trace_stride = 1;
+};
+
+struct SearchStats {
+  std::size_t iterations = 0;
+  std::size_t accepted = 0;
+  std::size_t rejected_tabu = 0;
+  std::size_t aspirated = 0;
+  std::size_t early_accepts = 0;
+
+  void merge(const SearchStats& other) {
+    iterations += other.iterations;
+    accepted += other.accepted;
+    rejected_tabu += other.rejected_tabu;
+    aspirated += other.aspirated;
+    early_accepts += other.early_accepts;
+  }
+};
+
+struct SearchResult {
+  double best_cost = 0.0;
+  double best_quality = 0.0;
+  cost::Objectives best_objectives;
+  /// Slot assignment (cell ids by slot) of the best solution.
+  std::vector<netlist::CellId> best_slots;
+  Series cost_trace;  ///< current cost per traced iteration
+  Series best_trace;  ///< best cost per traced iteration
+  SearchStats stats;
+};
+
+/// True iff any constituent swap of `move` is tabu.
+bool compound_is_tabu(const TabuList& list, const CompoundMove& move);
+
+/// Records every constituent swap of an accepted compound move.
+void record_compound(TabuList& list, const CompoundMove& move);
+
+class TabuSearch {
+ public:
+  /// The evaluator carries the current solution; the search mutates it.
+  TabuSearch(cost::Evaluator& eval, const TabuParams& params, Rng rng);
+
+  /// Runs `params.iterations` iterations over the full cell range.
+  SearchResult run();
+
+  /// One tabu iteration restricted to `range`; used by the parallel TSWs.
+  /// Returns true if the compound move was accepted.
+  bool iterate(const CellRange& range);
+
+  double best_cost() const { return best_cost_; }
+  const std::vector<netlist::CellId>& best_slots() const { return best_slots_; }
+  const SearchStats& stats() const { return stats_; }
+  TabuList& tabu_list() { return list_; }
+  const FrequencyMemory& frequency_memory() const { return frequency_; }
+  cost::Evaluator& evaluator() { return *eval_; }
+  Rng& rng() { return rng_; }
+
+  /// Re-syncs the best-so-far bookkeeping after the caller replaced the
+  /// evaluator's solution (broadcast of a new global best).
+  void note_external_solution();
+
+ private:
+  void update_best();
+
+  cost::Evaluator* eval_;
+  TabuParams params_;
+  Rng rng_;
+  TabuList list_;
+  FrequencyMemory frequency_;
+  double best_cost_;
+  double best_quality_;
+  cost::Objectives best_objectives_;
+  std::vector<netlist::CellId> best_slots_;
+  SearchStats stats_;
+};
+
+}  // namespace pts::tabu

@@ -1,0 +1,75 @@
+#include "tabu/tabu_list.hpp"
+
+#include "support/check.hpp"
+
+namespace pts::tabu {
+namespace {
+
+std::uint64_t cell_key(netlist::CellId cell) {
+  // Distinct key space from pair keys: pair keys always have a non-zero
+  // high word only when a > 0; tag cell keys with a high sentinel bit.
+  return (1ULL << 63) | cell;
+}
+
+}  // namespace
+
+TabuList::TabuList(std::size_t tenure, TabuAttribute attribute)
+    : tenure_(tenure), attribute_(attribute) {
+  PTS_CHECK_MSG(tenure >= 1, "tabu tenure must be at least 1");
+}
+
+void TabuList::add_keys(const Move& move) {
+  if (attribute_ == TabuAttribute::CellPair) {
+    ++counts_[move.key()];
+  } else {
+    ++counts_[cell_key(move.a)];
+    ++counts_[cell_key(move.b)];
+  }
+}
+
+void TabuList::remove_keys(const Move& move) {
+  auto drop = [&](std::uint64_t key) {
+    const auto it = counts_.find(key);
+    PTS_CHECK(it != counts_.end() && it->second > 0);
+    if (--it->second == 0) counts_.erase(it);
+  };
+  if (attribute_ == TabuAttribute::CellPair) {
+    drop(move.key());
+  } else {
+    drop(cell_key(move.a));
+    drop(cell_key(move.b));
+  }
+}
+
+void TabuList::record(const Move& move) {
+  entries_.push_back(move.normalized());
+  add_keys(move);
+  while (entries_.size() > tenure_) {
+    remove_keys(entries_.front());
+    entries_.pop_front();
+  }
+}
+
+bool TabuList::is_tabu(const Move& move) const {
+  if (attribute_ == TabuAttribute::CellPair) {
+    return counts_.find(move.key()) != counts_.end();
+  }
+  return counts_.find(cell_key(move.a)) != counts_.end() ||
+         counts_.find(cell_key(move.b)) != counts_.end();
+}
+
+void TabuList::clear() {
+  entries_.clear();
+  counts_.clear();
+}
+
+std::vector<Move> TabuList::entries() const {
+  return {entries_.begin(), entries_.end()};
+}
+
+void TabuList::assign(const std::vector<Move>& entries) {
+  clear();
+  for (const Move& move : entries) record(move);
+}
+
+}  // namespace pts::tabu

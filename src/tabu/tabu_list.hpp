@@ -1,0 +1,57 @@
+// Short-term memory (the tabu list).
+//
+// Records the attributes of accepted moves for `tenure` subsequent
+// recordings; a candidate move whose attribute is still present is tabu
+// unless the aspiration criterion overrides. Two attribute policies:
+//
+//  - CellPair  : the normalized (a, b) pair is tabu (paper's move reversal
+//                prevention);
+//  - EitherCell: any move touching a recently moved cell is tabu (a
+//                stronger variant exposed for the ablation bench).
+//
+// The list is serializable because the paper's master and TSWs exchange
+// "the best solution as well as the associated tabu list".
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "tabu/move.hpp"
+
+namespace pts::tabu {
+
+enum class TabuAttribute { CellPair, EitherCell };
+
+class TabuList {
+ public:
+  explicit TabuList(std::size_t tenure, TabuAttribute attribute = TabuAttribute::CellPair);
+
+  std::size_t tenure() const { return tenure_; }
+  TabuAttribute attribute() const { return attribute_; }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Records an accepted move; the oldest entry beyond the tenure expires.
+  void record(const Move& move);
+
+  bool is_tabu(const Move& move) const;
+
+  void clear();
+
+  /// Serialization for the master <-> TSW exchange (oldest first).
+  std::vector<Move> entries() const;
+  void assign(const std::vector<Move>& entries);
+
+ private:
+  void add_keys(const Move& move);
+  void remove_keys(const Move& move);
+
+  std::size_t tenure_;
+  TabuAttribute attribute_;
+  std::deque<Move> entries_;
+  /// Reference counts per attribute key (pairs or single cells).
+  std::unordered_map<std::uint64_t, int> counts_;
+};
+
+}  // namespace pts::tabu

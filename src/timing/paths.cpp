@@ -1,0 +1,117 @@
+#include "timing/paths.hpp"
+
+#include <algorithm>
+
+#include "timing/sta.hpp"
+
+namespace pts::timing {
+
+using netlist::CellId;
+using netlist::CellKind;
+using netlist::NetId;
+
+PathSet::PathSet(const netlist::Netlist& netlist, std::vector<TimingPath> paths)
+    : paths_(std::move(paths)), paths_of_net_(netlist.num_nets()) {
+  for (std::uint32_t p = 0; p < paths_.size(); ++p) {
+    PTS_CHECK(paths_[p].cells.size() == paths_[p].nets.size() + 1);
+    for (NetId net : paths_[p].nets) {
+      PTS_CHECK(net < paths_of_net_.size());
+      auto& list = paths_of_net_[net];
+      // A path may not traverse the same net twice (paths are simple).
+      PTS_DCHECK(std::find(list.begin(), list.end(), p) == list.end());
+      list.push_back(p);
+    }
+  }
+}
+
+std::shared_ptr<const PathSet> extract_critical_paths(
+    const netlist::Netlist& netlist, std::size_t k, const DelayModel& model) {
+  PTS_CHECK(k >= 1);
+  // Uniform-delay STA gives arrival times and per-cell max-predecessors;
+  // we re-derive the critical path *per primary output* by walking back
+  // along max-arrival predecessors.
+  const StaResult sta = run_sta_uniform(netlist, /*uniform_net_delay=*/1.0, model);
+
+  struct Candidate {
+    CellId po;
+    double arrival;
+  };
+  std::vector<Candidate> pos;
+  for (CellId cell : netlist.pad_cells()) {
+    if (netlist.cell(cell).kind == CellKind::PrimaryOutput) {
+      pos.push_back({cell, sta.arrival[cell]});
+    }
+  }
+  PTS_CHECK_MSG(!pos.empty(), "netlist has no primary outputs");
+  std::sort(pos.begin(), pos.end(), [](const Candidate& a, const Candidate& b) {
+    return a.arrival > b.arrival;
+  });
+  if (pos.size() > k) pos.resize(k);
+
+  std::vector<TimingPath> paths;
+  paths.reserve(pos.size());
+  for (const Candidate& candidate : pos) {
+    TimingPath path;
+    // Walk back from the PO choosing, at each cell, the input whose driver
+    // has the maximal (arrival + wire) — i.e. the binding input under the
+    // uniform model used for extraction.
+    CellId walk = candidate.po;
+    path.cells.push_back(walk);
+    while (!netlist.cell(walk).in_nets.empty()) {
+      NetId best_net = netlist::kNoNet;
+      CellId best_driver = netlist::kNoCell;
+      double best_arrival = -1.0;
+      for (NetId net : netlist.cell(walk).in_nets) {
+        const CellId driver = netlist.net(net).driver;
+        if (sta.arrival[driver] > best_arrival) {
+          best_arrival = sta.arrival[driver];
+          best_net = net;
+          best_driver = driver;
+        }
+      }
+      path.nets.push_back(best_net);
+      path.cells.push_back(best_driver);
+      walk = best_driver;
+    }
+    std::reverse(path.cells.begin(), path.cells.end());
+    std::reverse(path.nets.begin(), path.nets.end());
+    path.const_delay = 0.0;
+    for (CellId cell : path.cells) {
+      path.const_delay += model.cell_delay(netlist, cell);
+    }
+    paths.push_back(std::move(path));
+  }
+  return std::make_shared<PathSet>(netlist, std::move(paths));
+}
+
+PathTimer::PathTimer(std::shared_ptr<const PathSet> paths,
+                     const placement::HpwlState& hpwl, DelayModel model)
+    : paths_(std::move(paths)), model_(model) {
+  PTS_CHECK(paths_ != nullptr);
+  rebuild(hpwl);
+}
+
+void PathTimer::apply_net_change(NetId net, double old_hpwl, double new_hpwl) {
+  for (std::uint32_t p : paths_->paths_of_net(net)) {
+    wire_sum_[p] += new_hpwl - old_hpwl;
+  }
+}
+
+void PathTimer::rebuild(const placement::HpwlState& hpwl) {
+  wire_sum_.assign(paths_->size(), 0.0);
+  for (std::size_t p = 0; p < paths_->size(); ++p) {
+    for (NetId net : paths_->path(p).nets) {
+      wire_sum_[p] += hpwl.net_hpwl(net);
+    }
+  }
+}
+
+double PathTimer::max_delay() const {
+  double best = 0.0;
+  for (std::size_t p = 0; p < wire_sum_.size(); ++p) {
+    best = std::max(best, path_delay(p));
+  }
+  return best;
+}
+
+}  // namespace pts::timing

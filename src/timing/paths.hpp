@@ -1,0 +1,89 @@
+// K-critical-paths delay estimation.
+//
+// Full STA per candidate move would dominate the search inner loop, so —
+// following the practice of the fuzzy goal-directed placers this paper
+// builds on — we pre-extract a set of structurally critical paths (the
+// critical path of each primary output under uniform net delays, keeping
+// the K worst) and estimate circuit delay as the maximum path delay over
+// that set.
+//
+// A path's delay is split into a placement-independent constant (sum of
+// cell delays) plus wire_delay_per_unit times the sum of its nets' current
+// half-perimeters; the PathTimer maintains those wire sums incrementally
+// from per-net HPWL changes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "placement/hpwl.hpp"
+#include "timing/delay_model.hpp"
+
+namespace pts::timing {
+
+struct TimingPath {
+  /// Cells from primary input to primary output.
+  std::vector<netlist::CellId> cells;
+  /// Nets traversed between consecutive cells (cells.size() - 1 of them).
+  std::vector<netlist::NetId> nets;
+  /// Placement-independent component (sum of cell delays along the path).
+  double const_delay = 0.0;
+};
+
+/// An immutable set of monitored paths with a net→paths reverse index.
+/// Shared (const) between all workers of a parallel search.
+class PathSet {
+ public:
+  PathSet(const netlist::Netlist& netlist, std::vector<TimingPath> paths);
+
+  std::size_t size() const { return paths_.size(); }
+  const TimingPath& path(std::size_t i) const { return paths_[i]; }
+
+  /// Indices of monitored paths that traverse `net` (possibly empty).
+  const std::vector<std::uint32_t>& paths_of_net(netlist::NetId net) const {
+    PTS_DCHECK(net < paths_of_net_.size());
+    return paths_of_net_[net];
+  }
+
+ private:
+  std::vector<TimingPath> paths_;
+  std::vector<std::vector<std::uint32_t>> paths_of_net_;
+};
+
+/// Extracts up to `k` monitored paths: per primary output, the critical
+/// path under uniform net delay; keeps the k largest by constant delay.
+std::shared_ptr<const PathSet> extract_critical_paths(
+    const netlist::Netlist& netlist, std::size_t k, const DelayModel& model);
+
+/// Incrementally maintained per-path wire lengths and the resulting delay
+/// estimate. One instance per worker (cheap: O(K) doubles).
+class PathTimer {
+ public:
+  PathTimer(std::shared_ptr<const PathSet> paths, const placement::HpwlState& hpwl,
+            DelayModel model);
+
+  /// Folds one net's HPWL change into the affected path wire sums.
+  void apply_net_change(netlist::NetId net, double old_hpwl, double new_hpwl);
+
+  /// Re-derives all wire sums from `hpwl` (drift control / after rebuild).
+  void rebuild(const placement::HpwlState& hpwl);
+
+  /// Estimated circuit delay: max over monitored paths. O(K).
+  double max_delay() const;
+
+  double path_delay(std::size_t i) const {
+    PTS_DCHECK(i < wire_sum_.size());
+    return paths_->path(i).const_delay + model_.wire_delay(wire_sum_[i]);
+  }
+
+  const PathSet& paths() const { return *paths_; }
+
+ private:
+  std::shared_ptr<const PathSet> paths_;
+  DelayModel model_;
+  std::vector<double> wire_sum_;
+};
+
+}  // namespace pts::timing

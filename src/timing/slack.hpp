@@ -1,0 +1,48 @@
+// Slack analysis on top of the exact STA.
+//
+// Computes required times (backward pass from the critical delay or an
+// explicit clock target), per-cell slack, and per-net criticality in
+// [0, 1]. Criticalities are the standard way to feed timing pressure back
+// into a placer's net weights (timing-driven placement); the
+// `reweight_critical_nets` helper implements that loop for the examples
+// and the timing-driven extension bench.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "placement/hpwl.hpp"
+#include "timing/sta.hpp"
+
+namespace pts::timing {
+
+struct SlackResult {
+  /// Arrival time at each cell output (copied from the forward pass).
+  std::vector<double> arrival;
+  /// Required time at each cell output.
+  std::vector<double> required;
+  /// slack[c] = required[c] - arrival[c]; 0 on the critical path when the
+  /// target equals the critical delay, negative when the target is tighter.
+  std::vector<double> slack;
+  /// Criticality of each net in [0, 1]: 1 on the most critical nets.
+  std::vector<double> net_criticality;
+  double critical_delay = 0.0;
+  double target = 0.0;
+  /// Worst (minimum) slack over primary outputs.
+  double worst_slack = 0.0;
+};
+
+/// Runs forward + backward timing passes against the current placement
+/// geometry. `clock_target <= 0` means "use the critical delay itself"
+/// (zero slack on the critical path).
+SlackResult analyze_slack(const netlist::Netlist& netlist,
+                          const placement::HpwlState& hpwl, const DelayModel& model,
+                          double clock_target = 0.0);
+
+/// Returns net weights for timing-driven placement: base_weight scaled by
+/// (1 + strength * criticality^gamma). The caller applies them by building
+/// a reweighted netlist or by scaling the cost model's wirelength terms.
+std::vector<double> criticality_weights(const SlackResult& slack,
+                                        double strength = 2.0, double gamma = 2.0);
+
+}  // namespace pts::timing

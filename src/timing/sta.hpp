@@ -1,0 +1,36 @@
+// Exact static timing analysis.
+//
+// Computes, for the current placement geometry, the arrival time at every
+// cell output and the critical (longest) path delay from primary inputs to
+// primary outputs. O(cells + pins) per run — used for goal calibration,
+// final reporting and for validating the incremental K-paths estimator, not
+// inside the search inner loop.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "placement/hpwl.hpp"
+#include "timing/delay_model.hpp"
+
+namespace pts::timing {
+
+struct StaResult {
+  /// Arrival time at each cell's output (input pads: 0).
+  std::vector<double> arrival;
+  /// Critical path delay (max arrival over primary outputs).
+  double critical_delay = 0.0;
+  /// Cells of one critical path, from a primary input to a primary output.
+  std::vector<netlist::CellId> critical_path;
+};
+
+/// Runs STA with interconnect delays taken from `hpwl` (current boxes).
+StaResult run_sta(const netlist::Netlist& netlist, const placement::HpwlState& hpwl,
+                  const DelayModel& model);
+
+/// STA with every net's wire delay forced to `uniform_net_delay`
+/// (placement-independent; used to pick structurally critical paths).
+StaResult run_sta_uniform(const netlist::Netlist& netlist, double uniform_net_delay,
+                          const DelayModel& model);
+
+}  // namespace pts::timing

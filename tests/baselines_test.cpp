@@ -1,0 +1,150 @@
+// Tests for src/baselines: constructive placers, local search, simulated
+// annealing.
+#include <gtest/gtest.h>
+
+#include "baselines/annealing.hpp"
+#include "baselines/constructive.hpp"
+#include "baselines/local_search.hpp"
+#include "netlist/generator.hpp"
+#include "placement/hpwl.hpp"
+
+namespace pts::baselines {
+namespace {
+
+using netlist::GeneratorConfig;
+using netlist::Netlist;
+using placement::HpwlState;
+using placement::Layout;
+using placement::Placement;
+
+Netlist circuit(std::size_t gates = 60, std::uint64_t seed = 5) {
+  GeneratorConfig config;
+  config.num_gates = gates;
+  config.seed = seed;
+  return generate_circuit(config);
+}
+
+std::unique_ptr<cost::Evaluator> make_eval(const Netlist& nl, const Layout& layout,
+                                           Placement p) {
+  cost::CostParams params;
+  auto paths =
+      timing::extract_critical_paths(nl, params.num_paths, params.delay_model);
+  const auto goals = cost::Evaluator::calibrate_goals(p, *paths, params);
+  return std::make_unique<cost::Evaluator>(std::move(p), std::move(paths), params,
+                                           goals);
+}
+
+TEST(Constructive, GreedyBeatsRandomOnWirelength) {
+  const Netlist nl = circuit(100, 7);
+  const Layout layout(nl);
+  Rng rng(3);
+  double random_total = 0.0, greedy_total = 0.0;
+  for (int trial = 0; trial < 3; ++trial) {
+    const Placement r = random_placement(nl, layout, rng);
+    const Placement g = greedy_placement(nl, layout, rng);
+    random_total += HpwlState(r).total();
+    greedy_total += HpwlState(g).total();
+  }
+  EXPECT_LT(greedy_total, random_total);
+}
+
+TEST(Constructive, GreedyIsValidPlacement) {
+  const Netlist nl = circuit(45, 2);
+  const Layout layout(nl);
+  Rng rng(9);
+  const Placement g = greedy_placement(nl, layout, rng);
+  g.check_consistent();
+}
+
+TEST(Constructive, GreedyHandlesTinyCircuit) {
+  const Netlist nl = circuit(2, 1);
+  const Layout layout(nl);
+  Rng rng(1);
+  greedy_placement(nl, layout, rng).check_consistent();
+}
+
+TEST(LocalSearchTest, ImprovesAndConverges) {
+  const Netlist nl = circuit(56, 3);
+  const Layout layout(nl);
+  Rng rng(5);
+  auto eval = make_eval(nl, layout, random_placement(nl, layout, rng));
+  const double initial = eval->cost();
+  LocalSearchParams params;
+  params.patience = 30;
+  Rng search_rng(7);
+  const LocalSearchResult r = local_search(*eval, params, search_rng);
+  EXPECT_LT(r.best_cost, initial);
+  EXPECT_TRUE(r.converged);
+  // Steepest descent never accepts a worsening move: the evaluator cost
+  // equals the best cost at convergence.
+  EXPECT_NEAR(eval->cost(), r.best_cost, 1e-9);
+  // Best trace is monotone non-increasing.
+  for (std::size_t i = 1; i < r.best_trace.size(); ++i) {
+    EXPECT_LE(r.best_trace.y[i], r.best_trace.y[i - 1]);
+  }
+}
+
+TEST(LocalSearchTest, RespectsIterationCap) {
+  const Netlist nl = circuit(40, 4);
+  const Layout layout(nl);
+  Rng rng(2);
+  auto eval = make_eval(nl, layout, random_placement(nl, layout, rng));
+  LocalSearchParams params;
+  params.max_iterations = 10;
+  params.patience = 1000;
+  Rng search_rng(3);
+  const LocalSearchResult r = local_search(*eval, params, search_rng);
+  EXPECT_EQ(r.iterations, 10u);
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(Annealing, ImprovesRandomSolution) {
+  const Netlist nl = circuit(56, 6);
+  const Layout layout(nl);
+  Rng rng(4);
+  auto eval = make_eval(nl, layout, random_placement(nl, layout, rng));
+  const double initial = eval->cost();
+  AnnealParams params;
+  params.moves_per_temp = 200;
+  params.cooling = 0.85;
+  Rng sa_rng(11);
+  const AnnealResult r = anneal(*eval, params, sa_rng);
+  EXPECT_LT(r.best_cost, initial);
+  EXPECT_GT(r.moves_tried, 0u);
+  EXPECT_GT(r.moves_accepted, 0u);
+  EXPECT_LE(r.moves_accepted, r.moves_tried);
+  EXPECT_EQ(r.best_slots.size(), nl.num_movable());
+}
+
+TEST(Annealing, AcceptanceRateFallsAsItCools) {
+  const Netlist nl = circuit(40, 8);
+  const Layout layout(nl);
+  Rng rng(1);
+  auto eval = make_eval(nl, layout, random_placement(nl, layout, rng));
+  AnnealParams hot;
+  hot.moves_per_temp = 150;
+  hot.cooling = 0.5;            // quench fast
+  hot.final_temp_ratio = 1e-4;  // run until cold
+  Rng sa_rng(2);
+  const AnnealResult r = anneal(*eval, hot, sa_rng);
+  // Overall acceptance is well below 100% (cold phases reject uphill).
+  EXPECT_LT(r.moves_accepted, r.moves_tried);
+}
+
+TEST(Annealing, BestSlotsReproduceBestCost) {
+  const Netlist nl = circuit(30, 9);
+  const Layout layout(nl);
+  Rng rng(6);
+  Placement initial = random_placement(nl, layout, rng);
+  auto eval = make_eval(nl, layout, initial);
+  AnnealParams params;
+  params.moves_per_temp = 100;
+  params.cooling = 0.8;
+  Rng sa_rng(3);
+  const AnnealResult r = anneal(*eval, params, sa_rng);
+  eval->reset_placement(r.best_slots);
+  EXPECT_NEAR(eval->cost(), r.best_cost, 1e-6);
+}
+
+}  // namespace
+}  // namespace pts::baselines

@@ -1,0 +1,233 @@
+// Unit tests for src/cost: fuzzy memberships, OWA aggregation, goal
+// calibration, incremental evaluator consistency.
+#include <gtest/gtest.h>
+
+#include "cost/evaluator.hpp"
+#include "cost/fuzzy.hpp"
+#include "netlist/generator.hpp"
+#include "support/rng.hpp"
+
+namespace pts::cost {
+namespace {
+
+using netlist::CellId;
+using netlist::GeneratorConfig;
+using netlist::Netlist;
+using placement::Layout;
+using placement::Placement;
+
+TEST(Membership, PiecewiseLinearShape) {
+  MembershipFn fn{100.0, 0.5};  // goal 100, zero at 150
+  EXPECT_DOUBLE_EQ(fn.clamped(50.0), 1.0);
+  EXPECT_DOUBLE_EQ(fn.clamped(100.0), 1.0);
+  EXPECT_NEAR(fn.clamped(125.0), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(fn.clamped(150.0), 0.0);
+  EXPECT_DOUBLE_EQ(fn.clamped(1000.0), 0.0);
+}
+
+TEST(Membership, RawExtendsBeyondBand) {
+  MembershipFn fn{100.0, 0.5};
+  EXPECT_GT(fn.raw(50.0), 1.0);
+  EXPECT_LT(fn.raw(200.0), 0.0);
+  // raw is monotone decreasing.
+  double prev = fn.raw(0.0);
+  for (double v = 10.0; v <= 300.0; v += 10.0) {
+    const double cur = fn.raw(v);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(FuzzyGoalsTest, OwaBlendsMinAndMean) {
+  FuzzyGoals goals;
+  goals.fn(Objective::Wirelength) = {1.0, 1.0};
+  goals.fn(Objective::Delay) = {1.0, 1.0};
+  goals.fn(Objective::Area) = {1.0, 1.0};
+  // Memberships: wirelength at goal (mu=1), delay at 1.5 (mu=0.5),
+  // area at 2.0 (mu=0).
+  const Objectives o{1.0, 1.5, 2.0};
+  goals.beta = 1.0;  // pure min
+  EXPECT_NEAR(goals.quality(o), 0.0, 1e-12);
+  goals.beta = 0.0;  // pure mean
+  EXPECT_NEAR(goals.quality(o), 0.5, 1e-12);
+  goals.beta = 0.6;
+  EXPECT_NEAR(goals.quality(o), 0.4 * 0.5, 1e-12);
+}
+
+TEST(FuzzyGoalsTest, CostIsOneMinusRawOwa) {
+  FuzzyGoals goals;
+  goals.fn(Objective::Wirelength) = {2.0, 1.0};
+  goals.fn(Objective::Delay) = {2.0, 1.0};
+  goals.fn(Objective::Area) = {2.0, 1.0};
+  goals.beta = 0.5;
+  const Objectives at_goal{2.0, 2.0, 2.0};
+  EXPECT_NEAR(goals.cost(at_goal), 0.0, 1e-12);
+  const Objectives worse{4.0, 4.0, 4.0};  // raw mu = 0 each
+  EXPECT_NEAR(goals.cost(worse), 1.0, 1e-12);
+  // Quality is clamped to [0,1] even far outside the band.
+  const Objectives terrible{40.0, 40.0, 40.0};
+  EXPECT_DOUBLE_EQ(goals.quality(terrible), 0.0);
+  EXPECT_GT(goals.cost(terrible), 1.0);  // raw keeps the gradient
+}
+
+TEST(FuzzyGoalsTest, CalibrationPlacesInitialAtRequestedMembership) {
+  const Objectives initial{1000.0, 50.0, 200.0};
+  const FuzzyGoals goals = FuzzyGoals::calibrate(initial, 0.7, 0.25, 0.6);
+  for (std::size_t i = 0; i < kNumObjectives; ++i) {
+    EXPECT_NEAR(goals.membership[i].raw(initial.as_array()[i]), 0.25, 1e-9);
+  }
+  // Cost of the initial solution = 1 - 0.25 regardless of beta (all
+  // memberships equal).
+  EXPECT_NEAR(goals.cost(initial), 0.75, 1e-9);
+  EXPECT_NEAR(goals.quality(initial), 0.25, 1e-9);
+}
+
+TEST(FuzzyGoalsTest, CostDecreasesWhenAnyObjectiveImproves) {
+  const Objectives initial{1000.0, 50.0, 200.0};
+  const FuzzyGoals goals = FuzzyGoals::calibrate(initial, 0.7, 0.25, 0.6);
+  Objectives better = initial;
+  better.wirelength = 900.0;
+  EXPECT_LT(goals.cost(better), goals.cost(initial));
+  better = initial;
+  better.delay = 45.0;
+  EXPECT_LT(goals.cost(better), goals.cost(initial));
+  better = initial;
+  better.area = 150.0;
+  EXPECT_LT(goals.cost(better), goals.cost(initial));
+}
+
+// ---------------------------------------------------------------------------
+// Evaluator.
+
+struct EvalCase {
+  std::size_t gates;
+  std::uint64_t seed;
+  int swaps;
+};
+
+class EvaluatorProperty : public ::testing::TestWithParam<EvalCase> {};
+
+std::unique_ptr<Evaluator> make_eval(const Netlist& nl, const Layout& layout,
+                                     std::uint64_t seed, const CostParams& params) {
+  Rng rng(seed);
+  Placement p = Placement::random(nl, layout, rng);
+  auto paths =
+      timing::extract_critical_paths(nl, params.num_paths, params.delay_model);
+  const FuzzyGoals goals = Evaluator::calibrate_goals(p, *paths, params);
+  return std::make_unique<Evaluator>(std::move(p), std::move(paths), params, goals);
+}
+
+TEST_P(EvaluatorProperty, SwapUndoRestoresCost) {
+  const auto c = GetParam();
+  GeneratorConfig config;
+  config.num_gates = c.gates;
+  config.seed = c.seed;
+  const Netlist nl = generate_circuit(config);
+  const Layout layout(nl);
+  CostParams params;
+  auto eval = make_eval(nl, layout, c.seed, params);
+
+  Rng rng(c.seed + 5);
+  const double original = eval->cost();
+  for (int i = 0; i < c.swaps; ++i) {
+    const auto [ia, ib] = rng.distinct_pair(nl.num_movable());
+    const CellId a = nl.movable_cells()[ia];
+    const CellId b = nl.movable_cells()[ib];
+    eval->apply_swap(a, b);
+    eval->apply_swap(a, b);
+    ASSERT_NEAR(eval->cost(), original, 1e-7) << "swap " << i;
+  }
+}
+
+TEST_P(EvaluatorProperty, IncrementalObjectivesMatchFreshEvaluator) {
+  const auto c = GetParam();
+  GeneratorConfig config;
+  config.num_gates = c.gates;
+  config.seed = c.seed;
+  const Netlist nl = generate_circuit(config);
+  const Layout layout(nl);
+  CostParams params;
+  auto eval = make_eval(nl, layout, c.seed, params);
+
+  Rng rng(c.seed + 9);
+  for (int i = 0; i < c.swaps; ++i) {
+    const auto [ia, ib] = rng.distinct_pair(nl.num_movable());
+    eval->apply_swap(nl.movable_cells()[ia], nl.movable_cells()[ib]);
+  }
+  // Rebuild from the same slots and compare all three objectives.
+  placement::Placement fresh_p(nl, layout);
+  fresh_p.assign_slots(eval->placement().slots());
+  auto paths =
+      timing::extract_critical_paths(nl, params.num_paths, params.delay_model);
+  Evaluator fresh(std::move(fresh_p), std::move(paths), params, eval->goals());
+  const Objectives a = eval->objectives();
+  const Objectives b = fresh.objectives();
+  EXPECT_NEAR(a.wirelength, b.wirelength, 1e-6);
+  EXPECT_NEAR(a.delay, b.delay, 1e-6);
+  EXPECT_NEAR(a.area, b.area, 1e-9);
+  EXPECT_NEAR(eval->cost(), fresh.cost(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EvaluatorProperty,
+                         ::testing::Values(EvalCase{20, 1, 80},
+                                           EvalCase{56, 2, 60},
+                                           EvalCase{150, 3, 40}));
+
+TEST(Evaluator, PeriodicRebuildKeepsCostStable) {
+  GeneratorConfig config;
+  config.num_gates = 40;
+  config.seed = 21;
+  const Netlist nl = generate_circuit(config);
+  const Layout layout(nl);
+  CostParams params;
+  params.rebuild_interval = 16;  // force frequent rebuilds
+  auto eval = make_eval(nl, layout, 3, params);
+  Rng rng(77);
+  double last = eval->cost();
+  for (int i = 0; i < 200; ++i) {
+    const auto [ia, ib] = rng.distinct_pair(nl.num_movable());
+    const CellId a = nl.movable_cells()[ia];
+    const CellId b = nl.movable_cells()[ib];
+    eval->apply_swap(a, b);
+    last = eval->apply_swap(a, b);
+  }
+  EXPECT_NEAR(last, eval->cost(), 1e-12);
+  EXPECT_EQ(eval->swaps_applied(), 400u);
+}
+
+TEST(Evaluator, ResetPlacementAdoptsSolution) {
+  GeneratorConfig config;
+  config.num_gates = 30;
+  config.seed = 8;
+  const Netlist nl = generate_circuit(config);
+  const Layout layout(nl);
+  CostParams params;
+  auto eval = make_eval(nl, layout, 1, params);
+
+  Rng rng(55);
+  Placement other = Placement::random(nl, layout, rng);
+  eval->reset_placement(other.slots());
+  EXPECT_TRUE(eval->placement() == other);
+
+  // Cost equals a fresh evaluator on the same solution.
+  auto paths =
+      timing::extract_critical_paths(nl, params.num_paths, params.delay_model);
+  Evaluator fresh(std::move(other), std::move(paths), params, eval->goals());
+  EXPECT_NEAR(eval->cost(), fresh.cost(), 1e-9);
+}
+
+TEST(Evaluator, QualityAndCostAreConsistent) {
+  GeneratorConfig config;
+  config.num_gates = 25;
+  config.seed = 4;
+  const Netlist nl = generate_circuit(config);
+  const Layout layout(nl);
+  CostParams params;
+  auto eval = make_eval(nl, layout, 2, params);
+  // At calibration: quality = initial_membership, cost = 1 - membership.
+  EXPECT_NEAR(eval->quality(), params.initial_membership, 1e-9);
+  EXPECT_NEAR(eval->cost(), 1.0 - params.initial_membership, 1e-9);
+}
+
+}  // namespace
+}  // namespace pts::cost

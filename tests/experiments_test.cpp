@@ -1,0 +1,83 @@
+// Tests for src/experiments: workload registry, config scaling, speedup
+// measurement.
+#include <gtest/gtest.h>
+
+#include "experiments/speedup.hpp"
+#include "experiments/workloads.hpp"
+
+namespace pts::experiments {
+namespace {
+
+TEST(Workloads, CircuitCacheReturnsSameInstance) {
+  const auto& a = circuit("highway");
+  const auto& b = circuit("highway");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.num_movable(), 56u);
+}
+
+TEST(Workloads, AllPaperCircuitsAvailable) {
+  const auto names = circuit_names();
+  ASSERT_EQ(names.size(), 4u);
+  for (const auto& name : names) {
+    EXPECT_GT(circuit(name).num_movable(), 0u) << name;
+  }
+}
+
+TEST(Workloads, BaseConfigScalesWithCircuitSize) {
+  const auto small = base_config(circuit("highway"), 1, /*quick=*/false);
+  const auto large = base_config(circuit("c3540"), 1, /*quick=*/false);
+  EXPECT_LE(small.global_iterations, large.global_iterations);
+  EXPECT_LE(small.local_iterations, large.local_iterations);
+  EXPECT_EQ(small.num_tsws, 4u);
+  EXPECT_EQ(small.clws_per_tsw, 1u);
+  EXPECT_EQ(small.cluster.size(), 12u);
+}
+
+TEST(Workloads, QuickModeShrinksBudgets) {
+  const auto quick = base_config(circuit("c532"), 1, true);
+  const auto full = base_config(circuit("c532"), 1, false);
+  EXPECT_LT(quick.global_iterations * quick.local_iterations,
+            full.global_iterations * full.local_iterations);
+}
+
+TEST(Workloads, ImprovementThreshold) {
+  parallel::PtsResult r;
+  r.initial_cost = 1.0;
+  r.best_cost = 0.5;
+  EXPECT_NEAR(improvement_threshold(r, 1.0), 0.5, 1e-12);
+  EXPECT_NEAR(improvement_threshold(r, 0.5), 0.75, 1e-12);
+}
+
+TEST(Speedup, MeasuresClwScaling) {
+  const auto& nl = circuit("highway");
+  auto config = base_config(nl, 3, /*quick=*/true);
+  const auto m = measure_speedup(nl, config, VaryWorkers::Clws, {1, 2, 4},
+                                 /*improvement_fraction=*/0.7);
+  // The baseline always reaches its own threshold.
+  ASSERT_GE(m.speedup.size(), 1u);
+  EXPECT_EQ(m.speedup.x[0], 1.0);
+  EXPECT_NEAR(m.speedup.y[0], 1.0, 1e-9);
+  EXPECT_EQ(m.time_to_threshold.size(), 3u);
+  EXPECT_EQ(m.best_cost.size(), 3u);
+  EXPECT_GT(m.threshold_cost, 0.0);
+}
+
+TEST(Speedup, MeasuresTswScaling) {
+  const auto& nl = circuit("highway");
+  auto config = base_config(nl, 5, /*quick=*/true);
+  const auto m = measure_speedup(nl, config, VaryWorkers::Tsws, {1, 2, 4},
+                                 /*improvement_fraction=*/0.7);
+  EXPECT_EQ(m.time_to_threshold.size(), 3u);
+  // Every measured point that reached the threshold has positive speedup.
+  for (double s : m.speedup.y) EXPECT_GT(s, 0.0);
+}
+
+TEST(SpeedupDeath, RequiresBaselineCount) {
+  const auto& nl = circuit("highway");
+  auto config = base_config(nl, 1, true);
+  EXPECT_DEATH(measure_speedup(nl, config, VaryWorkers::Clws, {2, 4}, 0.7),
+               "baseline");
+}
+
+}  // namespace
+}  // namespace pts::experiments

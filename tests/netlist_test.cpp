@@ -1,0 +1,296 @@
+// Unit and property tests for src/netlist: builder validation, topology,
+// generator invariants, text IO round-trip, benchmark registry.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "netlist/benchmarks.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/io.hpp"
+#include "netlist/netlist.hpp"
+
+namespace pts::netlist {
+namespace {
+
+/// pi -> g1 -> g2 -> po, plus pi -> g2 (reconvergent fanout-free chain).
+Netlist tiny_chain() {
+  NetlistBuilder b("tiny");
+  const CellId pi = b.add_primary_input("a");
+  const CellId g1 = b.add_gate("g1", 2, 1.0, 0.1);
+  const CellId g2 = b.add_gate("g2", 1, 2.0, 0.2);
+  const CellId po = b.add_primary_output("z");
+  const NetId n0 = b.add_net("n0", pi);
+  b.connect_input(n0, g1);
+  b.connect_input(n0, g2);
+  const NetId n1 = b.add_net("n1", g1);
+  b.connect_input(n1, g2);
+  const NetId n2 = b.add_net("n2", g2, 2.0);
+  b.connect_input(n2, po);
+  return std::move(b).build();
+}
+
+TEST(NetlistBuilder, BuildsValidChain) {
+  const Netlist nl = tiny_chain();
+  EXPECT_EQ(nl.num_cells(), 4u);
+  EXPECT_EQ(nl.num_nets(), 3u);
+  EXPECT_EQ(nl.num_movable(), 2u);
+  EXPECT_EQ(nl.pad_cells().size(), 2u);
+  EXPECT_EQ(nl.total_movable_width(), 3);
+  EXPECT_EQ(nl.logic_depth(), 3u);  // pi -> g1 -> g2 -> po
+  EXPECT_EQ(nl.num_pins(), 3u + 2u + 2u);  // n0 fans out to g1 and g2
+}
+
+TEST(NetlistBuilder, FindCellByName) {
+  const Netlist nl = tiny_chain();
+  ASSERT_TRUE(nl.find_cell("g2").has_value());
+  EXPECT_EQ(nl.cell(*nl.find_cell("g2")).intrinsic_delay, 2.0);
+  EXPECT_FALSE(nl.find_cell("nope").has_value());
+}
+
+TEST(NetlistBuilder, NetsOfIsDeduplicated) {
+  const Netlist nl = tiny_chain();
+  const CellId g2 = *nl.find_cell("g2");
+  // g2: out n2, inputs n0 and n1 -> 3 distinct incident nets.
+  EXPECT_EQ(nl.nets_of(g2).size(), 3u);
+}
+
+TEST(NetlistBuilder, TopologicalOrderRespectsEdges) {
+  const Netlist nl = tiny_chain();
+  const auto& topo = nl.topological_order();
+  ASSERT_EQ(topo.size(), nl.num_cells());
+  std::map<CellId, std::size_t> position;
+  for (std::size_t i = 0; i < topo.size(); ++i) position[topo[i]] = i;
+  for (const auto& net : nl.nets()) {
+    for (CellId sink : net.sinks) {
+      EXPECT_LT(position[net.driver], position[sink]);
+    }
+  }
+}
+
+using NetlistDeath = ::testing::Test;
+
+TEST(NetlistDeath, RejectsCycle) {
+  NetlistBuilder b("cycle");
+  const CellId pi = b.add_primary_input("a");
+  const CellId g1 = b.add_gate("g1", 1, 1.0, 0.1);
+  const CellId g2 = b.add_gate("g2", 1, 1.0, 0.1);
+  const CellId po = b.add_primary_output("z");
+  const NetId n0 = b.add_net("n0", pi);
+  b.connect_input(n0, g1);
+  const NetId n1 = b.add_net("n1", g1);
+  b.connect_input(n1, g2);
+  const NetId n2 = b.add_net("n2", g2);
+  b.connect_input(n2, g1);  // g2 -> g1 closes the cycle
+  b.connect_input(n2, po);
+  EXPECT_DEATH(std::move(b).build(), "cycle");
+}
+
+TEST(NetlistDeath, RejectsDanglingNet) {
+  NetlistBuilder b("dangling");
+  const CellId pi = b.add_primary_input("a");
+  const CellId g1 = b.add_gate("g1", 1, 1.0, 0.1);
+  const CellId po = b.add_primary_output("z");
+  const NetId n0 = b.add_net("n0", pi);
+  b.connect_input(n0, g1);
+  b.connect_input(n0, po);
+  b.add_net("n1", g1);  // never sunk
+  EXPECT_DEATH(std::move(b).build(), "sink");
+}
+
+TEST(NetlistDeath, RejectsDoubleDriver) {
+  NetlistBuilder b("double");
+  const CellId pi = b.add_primary_input("a");
+  b.add_net("n0", pi);
+  EXPECT_DEATH(b.add_net("n1", pi), "already drives");
+}
+
+TEST(NetlistDeath, RejectsDuplicateNames) {
+  NetlistBuilder b("dup");
+  const CellId pi = b.add_primary_input("a");
+  const CellId g = b.add_gate("a", 1, 1.0, 0.1);  // same name as the PI
+  const CellId po = b.add_primary_output("z");
+  const NetId n0 = b.add_net("n0", pi);
+  b.connect_input(n0, g);
+  const NetId n1 = b.add_net("n1", g);
+  b.connect_input(n1, po);
+  EXPECT_DEATH(std::move(b).build(), "duplicate");
+}
+
+TEST(NetlistDeath, RejectsSelfLoop) {
+  NetlistBuilder b("self");
+  const CellId pi = b.add_primary_input("a");
+  const CellId g = b.add_gate("g", 1, 1.0, 0.1);
+  const NetId n0 = b.add_net("n0", pi);
+  b.connect_input(n0, g);
+  const NetId n1 = b.add_net("n1", g);
+  EXPECT_DEATH(b.connect_input(n1, g), "self-loop");
+}
+
+// ---------------------------------------------------------------------------
+// Generator property tests, parameterized over sizes and seeds.
+
+struct GenCase {
+  std::size_t gates;
+  std::size_t pis;
+  std::size_t pos;
+  std::uint64_t seed;
+};
+
+class GeneratorProperty : public ::testing::TestWithParam<GenCase> {};
+
+TEST_P(GeneratorProperty, StructuralInvariants) {
+  const GenCase c = GetParam();
+  GeneratorConfig config;
+  config.num_gates = c.gates;
+  config.num_primary_inputs = c.pis;
+  config.num_primary_outputs = c.pos;
+  config.seed = c.seed;
+  const Netlist nl = generate_circuit(config);  // build() re-checks validity
+
+  EXPECT_EQ(nl.num_movable(), c.gates);
+  std::size_t pis = 0, pos = 0;
+  for (CellId pad : nl.pad_cells()) {
+    (nl.cell(pad).kind == CellKind::PrimaryInput ? pis : pos) += 1;
+  }
+  EXPECT_EQ(pis, c.pis);
+  EXPECT_GE(pos, c.pos);  // extra POs may absorb dangling nets
+
+  // Every net driven and sunk; gate fanin within bounds.
+  for (const auto& net : nl.nets()) {
+    EXPECT_NE(net.driver, kNoCell);
+    EXPECT_GE(net.sinks.size(), 1u);
+  }
+  for (CellId gate : nl.movable_cells()) {
+    EXPECT_GE(nl.cell(gate).in_nets.size(), 1u);
+    EXPECT_LE(nl.cell(gate).in_nets.size(), config.max_fanin);
+    EXPECT_GE(nl.cell(gate).width, config.min_width);
+    EXPECT_LE(nl.cell(gate).width, config.max_width);
+  }
+  // Topological order exists (acyclic) — finalize() checked; logic depth
+  // is positive for any non-trivial circuit.
+  EXPECT_GE(nl.logic_depth(), 1u);
+}
+
+TEST_P(GeneratorProperty, DeterministicForSeed) {
+  const GenCase c = GetParam();
+  GeneratorConfig config;
+  config.num_gates = c.gates;
+  config.num_primary_inputs = c.pis;
+  config.num_primary_outputs = c.pos;
+  config.seed = c.seed;
+  const Netlist a = generate_circuit(config);
+  const Netlist b = generate_circuit(config);
+  EXPECT_EQ(to_net_format(a), to_net_format(b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, GeneratorProperty,
+    ::testing::Values(GenCase{5, 2, 2, 1}, GenCase{20, 4, 4, 7},
+                      GenCase{56, 8, 8, 3}, GenCase{200, 16, 12, 11},
+                      GenCase{395, 20, 20, 5}, GenCase{800, 30, 25, 13}));
+
+TEST(Generator, DifferentSeedsDifferentCircuits) {
+  GeneratorConfig a, b;
+  a.num_gates = b.num_gates = 100;
+  a.seed = 1;
+  b.seed = 2;
+  EXPECT_NE(to_net_format(generate_circuit(a)), to_net_format(generate_circuit(b)));
+}
+
+TEST(Generator, LocalityIncreasesDepth) {
+  GeneratorConfig shallow, deep;
+  shallow.num_gates = deep.num_gates = 400;
+  shallow.seed = deep.seed = 9;
+  shallow.locality = 0.0;
+  deep.locality = 0.95;
+  deep.locality_window = 4;
+  EXPECT_GT(generate_circuit(deep).logic_depth(),
+            generate_circuit(shallow).logic_depth());
+}
+
+// ---------------------------------------------------------------------------
+// IO round-trip.
+
+TEST(NetlistIo, RoundTripPreservesEverything) {
+  const Netlist original = tiny_chain();
+  const std::string text = to_net_format(original);
+  const Netlist parsed = parse_netlist_string(text);
+  EXPECT_EQ(to_net_format(parsed), text);
+  EXPECT_EQ(parsed.name(), "tiny");
+  EXPECT_EQ(parsed.num_cells(), original.num_cells());
+  EXPECT_EQ(parsed.num_nets(), original.num_nets());
+  EXPECT_EQ(parsed.net(2).weight, 2.0);
+}
+
+TEST(NetlistIo, RoundTripGeneratedCircuit) {
+  GeneratorConfig config;
+  config.num_gates = 150;
+  config.seed = 21;
+  const Netlist original = generate_circuit(config);
+  const Netlist parsed = parse_netlist_string(to_net_format(original));
+  EXPECT_EQ(to_net_format(parsed), to_net_format(original));
+  EXPECT_EQ(parsed.logic_depth(), original.logic_depth());
+  EXPECT_EQ(parsed.total_movable_width(), original.total_movable_width());
+}
+
+TEST(NetlistIo, ParsesCommentsAndBlanks) {
+  const std::string text =
+      "# header comment\n"
+      "circuit c\n"
+      "\n"
+      "pi a\n"
+      "gate g 1 1.0 0.1\n"
+      "po z\n"
+      "net n0 1 a g\n"
+      "net n1 1 g z\n";
+  const Netlist nl = parse_netlist_string(text);
+  EXPECT_EQ(nl.num_cells(), 3u);
+}
+
+TEST(NetlistIoDeath, RejectsUnknownCell) {
+  EXPECT_DEATH(parse_netlist_string("circuit c\npi a\nnet n0 1 a ghost\n"),
+               "unknown cell");
+}
+
+TEST(NetlistIoDeath, RejectsUnknownKeyword) {
+  EXPECT_DEATH(parse_netlist_string("circuit c\nfrobnicate x\n"),
+               "unknown keyword");
+}
+
+// ---------------------------------------------------------------------------
+// Benchmark registry.
+
+TEST(Benchmarks, RegistryMatchesPaperSizes) {
+  const auto& all = paper_benchmarks();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].name, "highway");
+  EXPECT_EQ(all[0].cells, 56u);
+  EXPECT_EQ(all[1].name, "c532");
+  EXPECT_EQ(all[1].cells, 395u);
+  EXPECT_EQ(all[2].name, "c1355");
+  EXPECT_EQ(all[2].cells, 1451u);
+  EXPECT_EQ(all[3].name, "c3540");
+  EXPECT_EQ(all[3].cells, 2243u);
+}
+
+TEST(Benchmarks, MakeBenchmarkHasPaperCellCount) {
+  for (const auto& info : paper_benchmarks()) {
+    const Netlist nl = make_benchmark(info.name);
+    EXPECT_EQ(nl.num_movable(), info.cells) << info.name;
+    EXPECT_EQ(nl.name(), info.name);
+  }
+}
+
+TEST(Benchmarks, IsPaperBenchmark) {
+  EXPECT_TRUE(is_paper_benchmark("c1355"));
+  EXPECT_FALSE(is_paper_benchmark("c17"));
+}
+
+TEST(BenchmarksDeath, UnknownNameFails) {
+  EXPECT_DEATH(make_benchmark("c17"), "unknown benchmark");
+}
+
+}  // namespace
+}  // namespace pts::netlist

@@ -1,0 +1,282 @@
+// Unit tests for src/pvm: message pack/unpack, mailboxes, machine
+// profiles, and the threaded virtual machine.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "pvm/machine.hpp"
+#include "pvm/mailbox.hpp"
+#include "pvm/message.hpp"
+#include "pvm/vm.hpp"
+
+namespace pts::pvm {
+namespace {
+
+TEST(Message, PackUnpackAllTypes) {
+  Message msg(42);
+  msg.pack_u64(123456789012345ull);
+  msg.pack_i64(-42);
+  msg.pack_u32(7);
+  msg.pack_double(3.25);
+  msg.pack_bool(true);
+  msg.pack_string("hello world");
+  msg.pack_u32_vector({1, 2, 3});
+  msg.pack_double_vector({0.5, -1.5});
+
+  EXPECT_EQ(msg.tag(), 42);
+  EXPECT_EQ(msg.unpack_u64(), 123456789012345ull);
+  EXPECT_EQ(msg.unpack_i64(), -42);
+  EXPECT_EQ(msg.unpack_u32(), 7u);
+  EXPECT_DOUBLE_EQ(msg.unpack_double(), 3.25);
+  EXPECT_TRUE(msg.unpack_bool());
+  EXPECT_EQ(msg.unpack_string(), "hello world");
+  EXPECT_EQ(msg.unpack_u32_vector(), (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_EQ(msg.unpack_double_vector(), (std::vector<double>{0.5, -1.5}));
+  EXPECT_TRUE(msg.fully_consumed());
+}
+
+TEST(Message, RewindAllowsReUnpack) {
+  Message msg(1);
+  msg.pack_u32(5);
+  EXPECT_EQ(msg.unpack_u32(), 5u);
+  msg.rewind();
+  EXPECT_EQ(msg.unpack_u32(), 5u);
+}
+
+TEST(Message, EmptyVectorsRoundTrip) {
+  Message msg(1);
+  msg.pack_u32_vector({});
+  msg.pack_double_vector({});
+  msg.pack_string("");
+  EXPECT_TRUE(msg.unpack_u32_vector().empty());
+  EXPECT_TRUE(msg.unpack_double_vector().empty());
+  EXPECT_EQ(msg.unpack_string(), "");
+}
+
+TEST(MessageDeath, TypeMismatchAborts) {
+  Message msg(1);
+  msg.pack_u32(5);
+  EXPECT_DEATH(msg.unpack_double(), "type mismatch");
+}
+
+TEST(MessageDeath, UnderflowAborts) {
+  Message msg(1);
+  msg.pack_u32(5);
+  msg.unpack_u32();
+  EXPECT_DEATH(msg.unpack_u32(), "underflow");
+}
+
+TEST(MailboxTest, FifoWithinTag) {
+  Mailbox box;
+  Message a(1);
+  a.pack_u32(10);
+  Message b(1);
+  b.pack_u32(20);
+  box.deliver(std::move(a));
+  box.deliver(std::move(b));
+  EXPECT_EQ(box.pending(), 2u);
+  EXPECT_EQ(box.recv(1)->unpack_u32(), 10u);
+  EXPECT_EQ(box.recv(1)->unpack_u32(), 20u);
+}
+
+TEST(MailboxTest, TagFilterSkipsOthers) {
+  Mailbox box;
+  box.deliver(Message(1));
+  box.deliver(Message(2));
+  EXPECT_TRUE(box.probe(2));
+  const auto m = box.recv(2);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->tag(), 2);
+  EXPECT_TRUE(box.probe(1));
+  EXPECT_FALSE(box.probe(2));
+}
+
+TEST(MailboxTest, TryRecvNonBlocking) {
+  Mailbox box;
+  EXPECT_FALSE(box.try_recv().has_value());
+  box.deliver(Message(3));
+  EXPECT_TRUE(box.try_recv(3).has_value());
+  EXPECT_FALSE(box.try_recv(3).has_value());
+}
+
+TEST(MailboxTest, CloseUnblocksReceiver) {
+  Mailbox box;
+  std::atomic<bool> returned{false};
+  std::thread receiver([&] {
+    const auto m = box.recv();
+    EXPECT_FALSE(m.has_value());
+    returned = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(returned);
+  box.close();
+  receiver.join();
+  EXPECT_TRUE(returned);
+  // Deliveries after close are dropped.
+  box.deliver(Message(1));
+  EXPECT_EQ(box.pending(), 0u);
+}
+
+TEST(MailboxTest, RecvDrainsQueueAfterClose) {
+  Mailbox box;
+  box.deliver(Message(7));
+  box.close();
+  // The queued message is still deliverable...
+  EXPECT_TRUE(box.recv().has_value());
+  // ...then recv reports shutdown.
+  EXPECT_FALSE(box.recv().has_value());
+}
+
+TEST(MachineProfileTest, SpeedScalesTime) {
+  Rng rng(1);
+  const MachineProfile fast{"f", 1.0, 0.0};
+  const MachineProfile slow{"s", 0.25, 0.0};
+  EXPECT_DOUBLE_EQ(fast.time_for(10.0, rng), 10.0);
+  EXPECT_DOUBLE_EQ(slow.time_for(10.0, rng), 40.0);
+}
+
+TEST(MachineProfileTest, JitterOnlyIncreasesTime) {
+  Rng rng(2);
+  const MachineProfile noisy{"n", 1.0, 0.3};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_GE(noisy.time_for(5.0, rng), 5.0);
+  }
+}
+
+TEST(ClusterTest, PaperClusterComposition) {
+  const auto cluster = ClusterConfig::paper_cluster(0.0);
+  ASSERT_EQ(cluster.size(), 12u);
+  std::size_t fast = 0, medium = 0, slow = 0;
+  for (const auto& m : cluster.machines) {
+    if (m.speed == 1.0) ++fast;
+    else if (m.speed == 0.75) ++medium;
+    else if (m.speed == 0.5) ++slow;
+  }
+  EXPECT_EQ(fast, 7u);
+  EXPECT_EQ(medium, 3u);
+  EXPECT_EQ(slow, 2u);
+}
+
+TEST(ClusterTest, RoundRobinBinding) {
+  const auto cluster = ClusterConfig::homogeneous(3);
+  EXPECT_EQ(&cluster.machine_for_task(0), &cluster.machines[0]);
+  EXPECT_EQ(&cluster.machine_for_task(4), &cluster.machines[1]);
+  EXPECT_EQ(&cluster.machine_for_task(11), &cluster.machines[2]);
+}
+
+TEST(ClusterTest, InterleavingSpreadsClasses) {
+  const auto cluster = ClusterConfig::three_class(2, 2, 2);
+  // First three tasks land on three different speed classes.
+  EXPECT_NE(cluster.machine_for_task(0).speed, cluster.machine_for_task(1).speed);
+  EXPECT_NE(cluster.machine_for_task(1).speed, cluster.machine_for_task(2).speed);
+}
+
+TEST(Vm, SpawnSendRecvEcho) {
+  VirtualMachine vm(ClusterConfig::homogeneous(4));
+  const TaskId echo = vm.spawn("echo", [](TaskContext& ctx) {
+    for (;;) {
+      auto msg = ctx.recv();
+      if (!msg || msg->tag() == 99) return;
+      Message reply(msg->tag() + 1);
+      reply.pack_u64(msg->unpack_u64() * 2);
+      ctx.send(msg->sender(), std::move(reply));
+    }
+  });
+  Message ping(5);
+  ping.pack_u64(21);
+  vm.host().send(echo, std::move(ping));
+  auto reply = vm.host().recv(6);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->unpack_u64(), 42u);
+  EXPECT_EQ(reply->sender(), echo);
+  vm.host().send(echo, Message(99));
+  vm.shutdown();
+}
+
+TEST(Vm, TasksCanSpawnChildren) {
+  VirtualMachine vm(ClusterConfig::homogeneous(4));
+  const TaskId parent = vm.spawn("parent", [](TaskContext& ctx) {
+    auto go = ctx.recv(1);
+    if (!go) return;
+    const TaskId child = ctx.vm().spawn("child", [](TaskContext& cctx) {
+      auto m = cctx.recv(2);
+      if (!m) return;
+      Message up(3);
+      up.pack_string("from child");
+      cctx.send(m->sender(), std::move(up));
+    });
+    ctx.send(child, Message(2));
+    auto up = ctx.recv(3);
+    if (!up) return;
+    Message done(4);
+    done.pack_string(up->unpack_string());
+    ctx.send(go->sender(), std::move(done));
+  });
+  vm.host().send(parent, Message(1));
+  auto done = vm.host().recv(4);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->unpack_string(), "from child");
+  EXPECT_EQ(vm.num_tasks(), 3u);  // host + parent + child
+  vm.shutdown();
+}
+
+TEST(Vm, ChargeAccruesVirtualTimeBySpeed) {
+  // Two machines, speeds 1.0 and 0.5; tasks charged the same work.
+  ClusterConfig cluster;
+  cluster.machines = {{"fast", 1.0, 0.0}, {"slow", 0.5, 0.0}};
+  VirtualMachine vm(cluster);  // host -> fast
+  std::atomic<double> slow_time{0.0};
+  const TaskId slow = vm.spawn("slow", [&](TaskContext& ctx) {  // task 1 -> slow
+    ctx.charge(10.0);
+    slow_time = ctx.virtual_time();
+    ctx.recv();  // park until shutdown
+  });
+  (void)slow;
+  vm.host().charge(10.0);
+  EXPECT_DOUBLE_EQ(vm.host().virtual_time(), 10.0);
+  // Wait until the slow task has charged.
+  while (slow_time.load() == 0.0) std::this_thread::yield();
+  EXPECT_DOUBLE_EQ(slow_time.load(), 20.0);
+  vm.shutdown();
+}
+
+TEST(Vm, ShutdownUnblocksEverything) {
+  VirtualMachine vm(ClusterConfig::homogeneous(2));
+  std::atomic<int> finished{0};
+  for (int i = 0; i < 3; ++i) {
+    vm.spawn("waiter", [&](TaskContext& ctx) {
+      while (ctx.recv().has_value()) {
+      }
+      ++finished;
+    });
+  }
+  vm.shutdown();
+  EXPECT_EQ(finished.load(), 3);
+}
+
+TEST(Vm, ManyMessagesStressOrdering) {
+  VirtualMachine vm(ClusterConfig::homogeneous(3));
+  const TaskId sink = vm.spawn("sink", [](TaskContext& ctx) {
+    std::uint64_t expected = 0;
+    while (auto msg = ctx.recv(1)) {
+      // Per-sender FIFO: the single sender's stream must stay ordered.
+      ASSERT_EQ(msg->unpack_u64(), expected++);
+      if (expected == 500) {
+        Message done(2);
+        ctx.send(msg->sender(), std::move(done));
+        return;
+      }
+    }
+  });
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    Message m(1);
+    m.pack_u64(i);
+    vm.host().send(sink, std::move(m));
+  }
+  EXPECT_TRUE(vm.host().recv(2).has_value());
+  vm.shutdown();
+}
+
+}  // namespace
+}  // namespace pts::pvm

@@ -1,0 +1,196 @@
+// Tests for the deterministic virtual-time engine: determinism, search
+// progress, policy semantics, heterogeneity effects.
+#include <gtest/gtest.h>
+
+#include "experiments/workloads.hpp"
+#include "netlist/generator.hpp"
+#include "parallel/pts.hpp"
+
+namespace pts::parallel {
+namespace {
+
+using netlist::GeneratorConfig;
+using netlist::Netlist;
+
+Netlist circuit(std::size_t gates = 56, std::uint64_t seed = 3) {
+  GeneratorConfig config;
+  config.num_gates = gates;
+  config.num_primary_inputs = 8;
+  config.num_primary_outputs = 8;
+  config.seed = seed;
+  return generate_circuit(config);
+}
+
+PtsConfig small_config(std::uint64_t seed = 1) {
+  PtsConfig config;
+  config.seed = seed;
+  config.num_tsws = 3;
+  config.clws_per_tsw = 2;
+  config.local_iterations = 5;
+  config.global_iterations = 3;
+  config.tabu.compound.width = 6;
+  config.tabu.compound.depth = 2;
+  config.cluster = pvm::ClusterConfig::paper_cluster(0.05);
+  return config;
+}
+
+TEST(SimEngine, DeterministicAcrossRuns) {
+  const Netlist nl = circuit();
+  const PtsConfig config = small_config(11);
+  const PtsResult a = ParallelTabuSearch(nl, config).run_sim();
+  const PtsResult b = ParallelTabuSearch(nl, config).run_sim();
+  EXPECT_EQ(a.best_cost, b.best_cost);
+  EXPECT_EQ(a.best_slots, b.best_slots);
+  EXPECT_EQ(a.makespan, b.makespan);
+  ASSERT_EQ(a.best_vs_time.size(), b.best_vs_time.size());
+  for (std::size_t i = 0; i < a.best_vs_time.size(); ++i) {
+    EXPECT_EQ(a.best_vs_time.x[i], b.best_vs_time.x[i]);
+    EXPECT_EQ(a.best_vs_time.y[i], b.best_vs_time.y[i]);
+  }
+}
+
+TEST(SimEngine, DifferentSeedsDifferentSearches) {
+  const Netlist nl = circuit();
+  const PtsResult a = ParallelTabuSearch(nl, small_config(1)).run_sim();
+  const PtsResult b = ParallelTabuSearch(nl, small_config(2)).run_sim();
+  EXPECT_NE(a.best_slots, b.best_slots);
+}
+
+TEST(SimEngine, ImprovesOnInitialCost) {
+  const Netlist nl = circuit();
+  const PtsResult r = ParallelTabuSearch(nl, small_config()).run_sim();
+  EXPECT_LT(r.best_cost, r.initial_cost);
+  EXPECT_GT(r.best_quality, 0.0);
+  EXPECT_GT(r.makespan, 0.0);
+}
+
+TEST(SimEngine, TrajectoryIsMonotoneAndAnchored) {
+  const Netlist nl = circuit();
+  const PtsResult r = ParallelTabuSearch(nl, small_config()).run_sim();
+  ASSERT_GE(r.best_vs_time.size(), 2u);
+  EXPECT_EQ(r.best_vs_time.x[0], 0.0);
+  EXPECT_EQ(r.best_vs_time.y[0], r.initial_cost);
+  for (std::size_t i = 1; i < r.best_vs_time.size(); ++i) {
+    EXPECT_GE(r.best_vs_time.x[i], r.best_vs_time.x[i - 1]);
+    EXPECT_LT(r.best_vs_time.y[i], r.best_vs_time.y[i - 1]);
+  }
+  EXPECT_NEAR(r.best_vs_time.min_y(), r.best_cost, 1e-12);
+  // Per-global-iteration series: monotone, final value = best.
+  for (std::size_t i = 1; i < r.best_vs_global.size(); ++i) {
+    EXPECT_LE(r.best_vs_global.y[i], r.best_vs_global.y[i - 1]);
+  }
+  EXPECT_EQ(r.best_vs_global.last_y(), r.best_cost);
+}
+
+TEST(SimEngine, BestSlotsReproduceBestCost) {
+  const Netlist nl = circuit();
+  const PtsConfig config = small_config(21);
+  const PtsResult r = ParallelTabuSearch(nl, config).run_sim();
+  // Independent evaluation of the returned slots.
+  SearchSetup setup(nl, config);
+  auto eval = setup.make_evaluator(r.best_slots);
+  EXPECT_NEAR(eval->cost(), r.best_cost, 1e-6);
+}
+
+TEST(SimEngine, HalfForceNeverSlowerThanWaitAll) {
+  // Same seed, same work; the heterogeneous policy must finish no later
+  // per construction (it waits for fewer children at both levels).
+  const Netlist nl = circuit(80, 7);
+  PtsConfig het = small_config(5);
+  het.set_policy(CollectionPolicy::HalfForce);
+  PtsConfig hom = het;
+  hom.set_policy(CollectionPolicy::WaitAll);
+  const PtsResult r_het = ParallelTabuSearch(nl, het).run_sim();
+  const PtsResult r_hom = ParallelTabuSearch(nl, hom).run_sim();
+  EXPECT_LT(r_het.makespan, r_hom.makespan);
+  // Both improve on the initial solution.
+  EXPECT_LT(r_het.best_cost, r_het.initial_cost);
+  EXPECT_LT(r_hom.best_cost, r_hom.initial_cost);
+}
+
+TEST(SimEngine, HalfForceGainGrowsWithClusterSkew) {
+  // The more heterogeneous the cluster, the bigger the makespan gap.
+  const Netlist nl = circuit(60, 9);
+  PtsConfig config = small_config(3);
+  config.set_policy(CollectionPolicy::WaitAll);
+
+  config.cluster = pvm::ClusterConfig::three_class(4, 4, 4, 1.0, 0.9, 0.8, 0.0);
+  const double mild_gap = [&] {
+    const double hom = ParallelTabuSearch(nl, config).run_sim().makespan;
+    PtsConfig het = config;
+    het.set_policy(CollectionPolicy::HalfForce);
+    return hom / ParallelTabuSearch(nl, het).run_sim().makespan;
+  }();
+
+  config.cluster = pvm::ClusterConfig::three_class(4, 4, 4, 1.0, 0.5, 0.2, 0.0);
+  const double skewed_gap = [&] {
+    const double hom = ParallelTabuSearch(nl, config).run_sim().makespan;
+    PtsConfig het = config;
+    het.set_policy(CollectionPolicy::HalfForce);
+    return hom / ParallelTabuSearch(nl, het).run_sim().makespan;
+  }();
+
+  EXPECT_GT(skewed_gap, mild_gap);
+  EXPECT_GT(mild_gap, 0.99);
+}
+
+TEST(SimEngine, SingleWorkerDegeneratesToSequential) {
+  const Netlist nl = circuit(30, 2);
+  PtsConfig config = small_config();
+  config.num_tsws = 1;
+  config.clws_per_tsw = 1;
+  const PtsResult r = ParallelTabuSearch(nl, config).run_sim();
+  EXPECT_LT(r.best_cost, r.initial_cost);
+  EXPECT_EQ(r.stats.iterations,
+            config.local_iterations * config.global_iterations);
+}
+
+TEST(SimEngine, MoreLocalIterationsDoMoreWork) {
+  const Netlist nl = circuit(40, 4);
+  PtsConfig short_run = small_config(8);
+  short_run.local_iterations = 2;
+  PtsConfig long_run = short_run;
+  long_run.local_iterations = 10;
+  const PtsResult a = ParallelTabuSearch(nl, short_run).run_sim();
+  const PtsResult b = ParallelTabuSearch(nl, long_run).run_sim();
+  EXPECT_GT(b.stats.iterations, a.stats.iterations);
+  EXPECT_GT(b.makespan, a.makespan);
+  EXPECT_LE(b.best_cost, a.best_cost + 0.05);  // more work, no regression
+}
+
+TEST(SimEngine, DiversificationChangesSearchOutcome) {
+  const Netlist nl = circuit(56, 6);
+  PtsConfig with = small_config(13);
+  PtsConfig without = with;
+  without.diversify.enabled = false;
+  const PtsResult a = ParallelTabuSearch(nl, with).run_sim();
+  const PtsResult b = ParallelTabuSearch(nl, without).run_sim();
+  EXPECT_NE(a.best_slots, b.best_slots);
+}
+
+TEST(SimEngine, StatsAddUpAcrossTsws) {
+  const Netlist nl = circuit(40, 5);
+  const PtsConfig config = small_config(2);
+  const PtsResult r = ParallelTabuSearch(nl, config).run_sim();
+  // Iterations counted = TSWs * global * local (no master force cuts in
+  // the virtual-time engine's TSW loop — cuts truncate reports, not work).
+  EXPECT_EQ(r.stats.iterations,
+            config.num_tsws * config.global_iterations * config.local_iterations);
+  EXPECT_EQ(r.stats.iterations,
+            r.stats.accepted + r.stats.rejected_tabu +
+                (r.stats.iterations - r.stats.accepted - r.stats.rejected_tabu));
+  EXPECT_GT(r.stats.accepted, 0u);
+}
+
+TEST(SimEngine, TimeToCostFindsThreshold) {
+  const Netlist nl = circuit(56, 8);
+  const PtsResult r = ParallelTabuSearch(nl, small_config(4)).run_sim();
+  const double mid = (r.initial_cost + r.best_cost) / 2.0;
+  const double t = r.time_to_cost(mid);
+  EXPECT_GT(t, 0.0);
+  EXPECT_LE(t, r.makespan + 1e-9);
+  EXPECT_EQ(r.time_to_cost(r.best_cost - 1.0), -1.0);
+}
+
+}  // namespace
+}  // namespace pts::parallel

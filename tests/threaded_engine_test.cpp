@@ -1,0 +1,135 @@
+// Tests for the threaded (PVM-style) engine: protocol liveness, result
+// validity, policy paths, equivalence of bookkeeping.
+#include <gtest/gtest.h>
+
+#include "netlist/generator.hpp"
+#include "parallel/pts.hpp"
+
+namespace pts::parallel {
+namespace {
+
+using netlist::GeneratorConfig;
+using netlist::Netlist;
+
+Netlist circuit(std::size_t gates = 40, std::uint64_t seed = 3) {
+  GeneratorConfig config;
+  config.num_gates = gates;
+  config.seed = seed;
+  return generate_circuit(config);
+}
+
+PtsConfig small_config(std::uint64_t seed = 1) {
+  PtsConfig config;
+  config.seed = seed;
+  config.num_tsws = 2;
+  config.clws_per_tsw = 2;
+  config.local_iterations = 4;
+  config.global_iterations = 3;
+  config.tabu.compound.width = 5;
+  config.tabu.compound.depth = 2;
+  config.cluster = pvm::ClusterConfig::homogeneous(8);
+  return config;
+}
+
+TEST(ThreadedEngine, RunsToCompletionAndImproves) {
+  const Netlist nl = circuit();
+  const PtsResult r = ParallelTabuSearch(nl, small_config()).run_threaded();
+  EXPECT_LT(r.best_cost, r.initial_cost);
+  EXPECT_EQ(r.best_slots.size(), nl.num_movable());
+  EXPECT_GE(r.makespan, 0.0);
+  EXPECT_GT(r.stats.iterations, 0u);
+}
+
+TEST(ThreadedEngine, BestSlotsReproduceBestCost) {
+  const Netlist nl = circuit(30, 9);
+  const PtsConfig config = small_config(5);
+  const PtsResult r = ParallelTabuSearch(nl, config).run_threaded();
+  SearchSetup setup(nl, config);
+  auto eval = setup.make_evaluator(r.best_slots);
+  EXPECT_NEAR(eval->cost(), r.best_cost, 1e-6);
+}
+
+TEST(ThreadedEngine, WaitAllPolicyCompletes) {
+  const Netlist nl = circuit(25, 2);
+  PtsConfig config = small_config(7);
+  config.set_policy(CollectionPolicy::WaitAll);
+  const PtsResult r = ParallelTabuSearch(nl, config).run_threaded();
+  EXPECT_LT(r.best_cost, r.initial_cost);
+  // With WaitAll and no master cuts, every TSW runs every iteration.
+  EXPECT_EQ(r.stats.iterations,
+            config.num_tsws * config.global_iterations * config.local_iterations);
+}
+
+TEST(ThreadedEngine, HalfForcePolicyCompletes) {
+  const Netlist nl = circuit(25, 2);
+  PtsConfig config = small_config(7);
+  config.set_policy(CollectionPolicy::HalfForce);
+  // Throttle so stragglers demonstrably lag and the force path triggers.
+  config.cluster = pvm::ClusterConfig::three_class(3, 3, 3, 1.0, 0.4, 0.1, 0.0);
+  config.threaded_seconds_per_unit = 2e-5;
+  const PtsResult r = ParallelTabuSearch(nl, config).run_threaded();
+  EXPECT_LT(r.best_cost, r.initial_cost);
+  // Some iterations may have been cut short; never more than the budget.
+  EXPECT_LE(r.stats.iterations,
+            config.num_tsws * config.global_iterations * config.local_iterations);
+  EXPECT_GT(r.stats.iterations, 0u);
+}
+
+TEST(ThreadedEngine, SingleTswSingleClw) {
+  const Netlist nl = circuit(20, 5);
+  PtsConfig config = small_config(3);
+  config.num_tsws = 1;
+  config.clws_per_tsw = 1;
+  const PtsResult r = ParallelTabuSearch(nl, config).run_threaded();
+  EXPECT_LT(r.best_cost, r.initial_cost);
+}
+
+TEST(ThreadedEngine, ManyWorkersStress) {
+  const Netlist nl = circuit(48, 6);
+  PtsConfig config = small_config(9);
+  config.num_tsws = 4;
+  config.clws_per_tsw = 3;  // 1 + 4 + 12 = 17 tasks
+  config.global_iterations = 2;
+  const PtsResult r = ParallelTabuSearch(nl, config).run_threaded();
+  EXPECT_LT(r.best_cost, r.initial_cost);
+}
+
+TEST(ThreadedEngine, RepeatedRunsShutDownCleanly) {
+  const Netlist nl = circuit(16, 1);
+  PtsConfig config = small_config(2);
+  config.global_iterations = 2;
+  config.local_iterations = 2;
+  for (int i = 0; i < 5; ++i) {
+    const PtsResult r = ParallelTabuSearch(nl, config).run_threaded();
+    EXPECT_LE(r.best_cost, r.initial_cost);
+  }
+}
+
+TEST(ThreadedEngine, TrajectoryAnchoredAtInitial) {
+  const Netlist nl = circuit(30, 4);
+  const PtsResult r = ParallelTabuSearch(nl, small_config(6)).run_threaded();
+  ASSERT_GE(r.best_vs_time.size(), 1u);
+  EXPECT_EQ(r.best_vs_time.x[0], 0.0);
+  EXPECT_EQ(r.best_vs_time.y[0], r.initial_cost);
+  for (std::size_t i = 1; i < r.best_vs_time.size(); ++i) {
+    EXPECT_LE(r.best_vs_time.y[i], r.best_vs_time.y[i - 1]);
+  }
+}
+
+TEST(ThreadedEngine, MatchesSimEngineOnBookkeeping) {
+  // Both engines run the same algorithm; with WaitAll they do the same
+  // amount of work (identical iteration counts), though RNG streams differ
+  // so solutions may differ.
+  const Netlist nl = circuit(32, 8);
+  PtsConfig config = small_config(4);
+  config.set_policy(CollectionPolicy::WaitAll);
+  const PtsResult threaded = ParallelTabuSearch(nl, config).run_threaded();
+  const PtsResult sim = ParallelTabuSearch(nl, config).run_sim();
+  EXPECT_EQ(threaded.stats.iterations, sim.stats.iterations);
+  EXPECT_EQ(threaded.initial_cost, sim.initial_cost);
+  EXPECT_LT(threaded.best_cost, threaded.initial_cost);
+  EXPECT_LT(sim.best_cost, sim.initial_cost);
+}
+
+}  // namespace
+}  // namespace pts::parallel

@@ -1,0 +1,218 @@
+// Unit tests for src/timing: exact STA and the K-paths incremental
+// estimator.
+#include <gtest/gtest.h>
+
+#include "netlist/generator.hpp"
+#include "placement/hpwl.hpp"
+#include "timing/paths.hpp"
+#include "timing/sta.hpp"
+
+namespace pts::timing {
+namespace {
+
+using netlist::CellId;
+using netlist::GeneratorConfig;
+using netlist::Netlist;
+using netlist::NetId;
+using placement::HpwlState;
+using placement::Layout;
+using placement::Placement;
+
+/// pi -> g1 -> g2 -> po chain with known delays.
+Netlist chain() {
+  netlist::NetlistBuilder b("chain");
+  const CellId pi = b.add_primary_input("a");
+  const CellId g1 = b.add_gate("g1", 1, 1.0, 0.5);
+  const CellId g2 = b.add_gate("g2", 1, 2.0, 0.25);
+  const CellId po = b.add_primary_output("z");
+  const NetId n0 = b.add_net("n0", pi);
+  b.connect_input(n0, g1);
+  const NetId n1 = b.add_net("n1", g1);
+  b.connect_input(n1, g2);
+  const NetId n2 = b.add_net("n2", g2);
+  b.connect_input(n2, po);
+  return std::move(b).build();
+}
+
+TEST(DelayModel, CellDelayIncludesLoad) {
+  const Netlist nl = chain();
+  const DelayModel model;
+  const CellId g1 = *nl.find_cell("g1");
+  // g1 drives n1 with one sink: 1.0 + 0.5 * 1.
+  EXPECT_NEAR(model.cell_delay(nl, g1), 1.5, 1e-12);
+  // Pads contribute nothing.
+  EXPECT_EQ(model.cell_delay(nl, *nl.find_cell("a")), 0.0);
+}
+
+TEST(Sta, UniformChainDelayIsHandComputable) {
+  const Netlist nl = chain();
+  DelayModel model;
+  const StaResult sta = run_sta_uniform(nl, /*uniform_net_delay=*/2.0, model);
+  // arrival(g1) = 0 + 2 + (1 + .5) = 3.5
+  // arrival(g2) = 3.5 + 2 + (2 + .25) = 7.75
+  // arrival(z)  = 7.75 + 2 + 0 = 9.75
+  EXPECT_NEAR(sta.critical_delay, 9.75, 1e-12);
+  ASSERT_EQ(sta.critical_path.size(), 4u);
+  EXPECT_EQ(nl.cell(sta.critical_path.front()).kind,
+            netlist::CellKind::PrimaryInput);
+  EXPECT_EQ(nl.cell(sta.critical_path.back()).kind,
+            netlist::CellKind::PrimaryOutput);
+}
+
+TEST(Sta, PlacementAwareDelayUsesHpwl) {
+  const Netlist nl = chain();
+  const Layout layout(nl, 1);
+  const Placement p(nl, layout);
+  HpwlState hpwl(p);
+  DelayModel model;
+  model.wire_delay_per_unit = 0.1;
+  const StaResult sta = run_sta(nl, hpwl, model);
+  const double expected = 0.1 * hpwl.net_hpwl(0) + 1.5 + 0.1 * hpwl.net_hpwl(1) +
+                          2.25 + 0.1 * hpwl.net_hpwl(2);
+  EXPECT_NEAR(sta.critical_delay, expected, 1e-12);
+}
+
+TEST(Sta, CriticalPathEdgesAreReal) {
+  GeneratorConfig config;
+  config.num_gates = 120;
+  config.seed = 3;
+  const Netlist nl = generate_circuit(config);
+  const DelayModel model;
+  const StaResult sta = run_sta_uniform(nl, 1.0, model);
+  ASSERT_GE(sta.critical_path.size(), 2u);
+  // Consecutive path cells must be driver -> sink of some net.
+  for (std::size_t i = 0; i + 1 < sta.critical_path.size(); ++i) {
+    const CellId from = sta.critical_path[i];
+    const CellId to = sta.critical_path[i + 1];
+    const NetId out = nl.cell(from).out_net;
+    ASSERT_NE(out, netlist::kNoNet);
+    const auto& sinks = nl.net(out).sinks;
+    EXPECT_NE(std::find(sinks.begin(), sinks.end(), to), sinks.end());
+  }
+}
+
+TEST(Paths, ExtractsAtMostKPathsSortedByCriticality) {
+  GeneratorConfig config;
+  config.num_gates = 200;
+  config.num_primary_outputs = 12;
+  config.seed = 7;
+  const Netlist nl = generate_circuit(config);
+  const DelayModel model;
+  const auto paths = extract_critical_paths(nl, 6, model);
+  EXPECT_LE(paths->size(), 6u);
+  EXPECT_GE(paths->size(), 1u);
+  for (std::size_t i = 0; i < paths->size(); ++i) {
+    const auto& path = paths->path(i);
+    EXPECT_EQ(path.cells.size(), path.nets.size() + 1);
+    EXPECT_GT(path.const_delay, 0.0);
+    // Path endpoints: PI to PO.
+    EXPECT_EQ(nl.cell(path.cells.front()).kind, netlist::CellKind::PrimaryInput);
+    EXPECT_EQ(nl.cell(path.cells.back()).kind, netlist::CellKind::PrimaryOutput);
+    // Edges are consistent: nets[i] connects cells[i] -> cells[i+1].
+    for (std::size_t e = 0; e < path.nets.size(); ++e) {
+      EXPECT_EQ(nl.net(path.nets[e]).driver, path.cells[e]);
+    }
+  }
+}
+
+TEST(Paths, ReverseIndexIsConsistent) {
+  GeneratorConfig config;
+  config.num_gates = 150;
+  config.seed = 11;
+  const Netlist nl = generate_circuit(config);
+  const DelayModel model;
+  const auto paths = extract_critical_paths(nl, 8, model);
+  for (NetId net = 0; net < nl.num_nets(); ++net) {
+    for (std::uint32_t p : paths->paths_of_net(net)) {
+      const auto& nets = paths->path(p).nets;
+      EXPECT_NE(std::find(nets.begin(), nets.end(), net), nets.end());
+    }
+  }
+}
+
+struct TimerCase {
+  std::size_t gates;
+  std::uint64_t seed;
+  int swaps;
+};
+
+class PathTimerProperty : public ::testing::TestWithParam<TimerCase> {};
+
+TEST_P(PathTimerProperty, IncrementalMatchesRebuildUnderSwaps) {
+  const auto c = GetParam();
+  GeneratorConfig config;
+  config.num_gates = c.gates;
+  config.seed = c.seed;
+  const Netlist nl = generate_circuit(config);
+  const Layout layout(nl);
+  Rng rng(c.seed + 1);
+  Placement p = Placement::random(nl, layout, rng);
+  HpwlState hpwl(p);
+  const DelayModel model;
+  auto paths = extract_critical_paths(nl, 12, model);
+  PathTimer timer(paths, hpwl, model);
+
+  placement::NetMarker marker(nl.num_nets());
+  std::vector<CellId> moved;
+  std::vector<placement::NetChange> changes;
+  for (int i = 0; i < c.swaps; ++i) {
+    const auto [ia, ib] = rng.distinct_pair(nl.num_movable());
+    moved.clear();
+    changes.clear();
+    p.swap_cells(nl.movable_cells()[ia], nl.movable_cells()[ib], &moved);
+    marker.begin();
+    for (CellId cell : moved) marker.add_nets_of(nl, cell);
+    hpwl.update_nets(marker.nets(), &changes);
+    for (const auto& change : changes) {
+      timer.apply_net_change(change.net, change.old_hpwl, change.new_hpwl);
+    }
+    PathTimer fresh(paths, hpwl, model);
+    ASSERT_NEAR(timer.max_delay(), fresh.max_delay(), 1e-6) << "swap " << i;
+    for (std::size_t pi = 0; pi < paths->size(); ++pi) {
+      ASSERT_NEAR(timer.path_delay(pi), fresh.path_delay(pi), 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PathTimerProperty,
+                         ::testing::Values(TimerCase{30, 1, 60},
+                                           TimerCase{56, 2, 60},
+                                           TimerCase{200, 3, 40}));
+
+TEST(Paths, EstimateNeverExceedsExactSta) {
+  // The monitored paths are a subset of all paths, so the estimate is a
+  // lower bound on the exact critical delay.
+  GeneratorConfig config;
+  config.num_gates = 180;
+  config.seed = 13;
+  const Netlist nl = generate_circuit(config);
+  const Layout layout(nl);
+  Rng rng(2);
+  const Placement p = Placement::random(nl, layout, rng);
+  HpwlState hpwl(p);
+  const DelayModel model;
+  const auto paths = extract_critical_paths(nl, 16, model);
+  PathTimer timer(paths, hpwl, model);
+  const StaResult sta = run_sta(nl, hpwl, model);
+  EXPECT_LE(timer.max_delay(), sta.critical_delay + 1e-9);
+  EXPECT_GT(timer.max_delay(), 0.0);
+}
+
+TEST(Paths, MorePathsTightenTheEstimate) {
+  GeneratorConfig config;
+  config.num_gates = 250;
+  config.num_primary_outputs = 20;
+  config.seed = 17;
+  const Netlist nl = generate_circuit(config);
+  const Layout layout(nl);
+  Rng rng(6);
+  const Placement p = Placement::random(nl, layout, rng);
+  HpwlState hpwl(p);
+  const DelayModel model;
+  PathTimer few(extract_critical_paths(nl, 2, model), hpwl, model);
+  PathTimer many(extract_critical_paths(nl, 16, model), hpwl, model);
+  EXPECT_GE(many.max_delay() + 1e-12, few.max_delay());
+}
+
+}  // namespace
+}  // namespace pts::timing
