@@ -43,7 +43,11 @@ ClusterConfig ClusterConfig::homogeneous(std::size_t n, double speed,
   ClusterConfig config;
   config.machines.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    config.machines.push_back({"m" + std::to_string(i), speed, jitter});
+    // Built with += rather than "m" + to_string(i): the operator+ form trips
+    // GCC 12's -Wrestrict false positive (PR105651) at -O2 under -Werror.
+    std::string name = "m";
+    name += std::to_string(i);
+    config.machines.push_back({std::move(name), speed, jitter});
   }
   return config;
 }

@@ -3,12 +3,14 @@
 namespace pts::pvm {
 
 void Message::put_raw(const void* data, std::size_t n) {
+  if (n == 0) return;  // empty vector/string: data() may be null; memcpy UB
   const auto* bytes = static_cast<const std::uint8_t*>(data);
   buffer_.insert(buffer_.end(), bytes, bytes + n);
 }
 
 void Message::get_raw(void* data, std::size_t n) {
   PTS_CHECK_MSG(cursor_ + n <= buffer_.size(), "message underflow");
+  if (n == 0) return;
   std::memcpy(data, buffer_.data() + cursor_, n);
   cursor_ += n;
 }

@@ -24,7 +24,7 @@ Netlist circuit(std::size_t gates = 60, std::uint64_t seed = 5) {
   return generate_circuit(config);
 }
 
-std::unique_ptr<cost::Evaluator> make_eval(const Netlist& nl, const Layout& layout,
+std::unique_ptr<cost::Evaluator> make_eval(const Netlist& nl,
                                            Placement p) {
   cost::CostParams params;
   auto paths =
@@ -67,7 +67,7 @@ TEST(LocalSearchTest, ImprovesAndConverges) {
   const Netlist nl = circuit(56, 3);
   const Layout layout(nl);
   Rng rng(5);
-  auto eval = make_eval(nl, layout, random_placement(nl, layout, rng));
+  auto eval = make_eval(nl, random_placement(nl, layout, rng));
   const double initial = eval->cost();
   LocalSearchParams params;
   params.patience = 30;
@@ -88,7 +88,7 @@ TEST(LocalSearchTest, RespectsIterationCap) {
   const Netlist nl = circuit(40, 4);
   const Layout layout(nl);
   Rng rng(2);
-  auto eval = make_eval(nl, layout, random_placement(nl, layout, rng));
+  auto eval = make_eval(nl, random_placement(nl, layout, rng));
   LocalSearchParams params;
   params.max_iterations = 10;
   params.patience = 1000;
@@ -102,7 +102,7 @@ TEST(Annealing, ImprovesRandomSolution) {
   const Netlist nl = circuit(56, 6);
   const Layout layout(nl);
   Rng rng(4);
-  auto eval = make_eval(nl, layout, random_placement(nl, layout, rng));
+  auto eval = make_eval(nl, random_placement(nl, layout, rng));
   const double initial = eval->cost();
   AnnealParams params;
   params.moves_per_temp = 200;
@@ -120,7 +120,7 @@ TEST(Annealing, AcceptanceRateFallsAsItCools) {
   const Netlist nl = circuit(40, 8);
   const Layout layout(nl);
   Rng rng(1);
-  auto eval = make_eval(nl, layout, random_placement(nl, layout, rng));
+  auto eval = make_eval(nl, random_placement(nl, layout, rng));
   AnnealParams hot;
   hot.moves_per_temp = 150;
   hot.cooling = 0.5;            // quench fast
@@ -136,7 +136,7 @@ TEST(Annealing, BestSlotsReproduceBestCost) {
   const Layout layout(nl);
   Rng rng(6);
   Placement initial = random_placement(nl, layout, rng);
-  auto eval = make_eval(nl, layout, initial);
+  auto eval = make_eval(nl, initial);
   AnnealParams params;
   params.moves_per_temp = 100;
   params.cooling = 0.8;

@@ -201,7 +201,7 @@ TEST(TswStateTest, SelectsLowestCostCandidate) {
   candidates[0].cost = 0.9;
   candidates[1].swaps = {{c, d}};
   candidates[1].cost = 0.4;
-  candidates[2];  // empty (cut before any level)
+  // candidates[2] stays default-constructed: empty (cut before any level).
 
   const int winner = state.process_candidates(candidates);
   EXPECT_EQ(winner, 1);

@@ -3,13 +3,17 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <set>
+#include <sstream>
 
 #include "netlist/benchmarks.hpp"
 #include "netlist/generator.hpp"
 #include "placement/hpwl.hpp"
 #include "placement/layout.hpp"
 #include "placement/placement.hpp"
+#include "placement/svg.hpp"
 #include "support/rng.hpp"
 
 namespace pts::placement {
@@ -324,6 +328,72 @@ TEST(NetMarkerTest, DeduplicatesAcrossCells) {
 
   marker.begin();  // new epoch forgets everything
   EXPECT_TRUE(marker.nets().empty());
+}
+
+TEST(Svg, RenderProducesWellFormedDocument) {
+  const Netlist nl = small_circuit();
+  const Layout layout(nl);
+  Rng rng(7);
+  const Placement p = Placement::random(nl, layout, rng);
+  HpwlState hpwl(p);
+
+  SvgOptions options;
+  options.title = "svg-test-title";
+  const std::string svg = render_svg(p, hpwl, options);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("svg-test-title"), std::string::npos);
+  // One rect per movable cell at minimum (rows/pads add more).
+  std::size_t rects = 0;
+  for (std::size_t at = svg.find("<rect"); at != std::string::npos;
+       at = svg.find("<rect", at + 1)) {
+    ++rects;
+  }
+  EXPECT_GE(rects, nl.num_movable());
+}
+
+TEST(Svg, IntensityAndFlylineOptionsChangeOutput) {
+  const Netlist nl = small_circuit();
+  const Layout layout(nl);
+  Rng rng(8);
+  const Placement p = Placement::random(nl, layout, rng);
+  HpwlState hpwl(p);
+
+  SvgOptions plain;
+  plain.flylines = 0;
+  SvgOptions decorated;
+  decorated.flylines = 8;
+  decorated.cell_intensity.assign(nl.num_cells(), 1.0);
+  const std::string a = render_svg(p, hpwl, plain);
+  const std::string b = render_svg(p, hpwl, decorated);
+  EXPECT_NE(a, b);
+  // Flylines render as lines; the plain variant should have fewer.
+  const auto count = [](const std::string& s, const char* needle) {
+    std::size_t n = 0;
+    for (std::size_t at = s.find(needle); at != std::string::npos;
+         at = s.find(needle, at + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_GT(count(b, "<line"), count(a, "<line"));
+}
+
+TEST(Svg, SaveWritesTheRenderedFile) {
+  const Netlist nl = small_circuit();
+  const Layout layout(nl);
+  Rng rng(9);
+  const Placement p = Placement::random(nl, layout, rng);
+  HpwlState hpwl(p);
+
+  const std::string path = ::testing::TempDir() + "pts_svg_test.svg";
+  save_svg(p, hpwl, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), render_svg(p, hpwl));
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -7,9 +7,12 @@
 #include <numeric>
 #include <set>
 
+#include "support/check.hpp"
 #include "support/cli.hpp"
+#include "support/log.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
+#include "support/stopwatch.hpp"
 #include "support/table.hpp"
 
 namespace pts {
@@ -266,6 +269,100 @@ TEST(Cli, UnusedTracksUnqueriedOptions) {
   const auto unused = cli.unused();
   ASSERT_EQ(unused.size(), 1u);
   EXPECT_EQ(unused[0], "unused");
+}
+
+// Only ordering invariants are asserted — they hold under arbitrary
+// scheduler preemption, unlike wall-clock bounds, which flake in CI.
+TEST(Stopwatch, ElapsedIsNonNegativeAndMonotonic) {
+  Stopwatch sw;
+  const double t1 = sw.seconds();
+  EXPECT_GE(t1, 0.0);
+  // millis() read between two seconds() reads must land between them.
+  const double ms = sw.millis();
+  const double t2 = sw.seconds();
+  EXPECT_GE(t2, t1);
+  EXPECT_GE(ms, t1 * 1e3);
+  EXPECT_LE(ms, t2 * 1e3);
+}
+
+TEST(Stopwatch, ResetRestartsTheClock) {
+  Stopwatch outer;
+  Stopwatch inner;  // started after outer
+  // Reads are sequenced explicitly: the earlier-started watch is read
+  // second, so its elapsed time is strictly the larger of the two
+  // regardless of how long anything in between takes.
+  const double inner_elapsed = inner.seconds();
+  const double outer_elapsed = outer.seconds();
+  EXPECT_LE(inner_elapsed, outer_elapsed);
+  outer.reset();  // now outer is the most recently started watch
+  const double outer_after_reset = outer.seconds();
+  const double inner_after_reset = inner.seconds();
+  EXPECT_LE(outer_after_reset, inner_after_reset);
+}
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, ThresholdFiltersLowerLevels) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::Warn);
+  EXPECT_EQ(log_level(), LogLevel::Warn);
+
+  ::testing::internal::CaptureStderr();
+  log_info("tag") << "dropped info line";
+  log_warn("tag") << "kept warn line";
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("dropped info line"), std::string::npos);
+  EXPECT_NE(err.find("kept warn line"), std::string::npos);
+}
+
+TEST(Log, TagAndLevelAppearInOutput) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::Info);
+
+  ::testing::internal::CaptureStderr();
+  log_error("tsw3") << "engine stalled";
+  log_info() << "untagged line";
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[ERROR] (tsw3) engine stalled"), std::string::npos);
+  EXPECT_NE(err.find("[INFO] untagged line"), std::string::npos);
+}
+
+TEST(Log, OffSilencesEverything) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::Off);
+  ::testing::internal::CaptureStderr();
+  log_error("tag") << "should not appear";
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(Check, PassingChecksAreSilent) {
+  PTS_CHECK(1 + 1 == 2);
+  PTS_CHECK_MSG(true, "never printed");
+  PTS_DCHECK(true);
+}
+
+TEST(CheckDeath, FailedCheckAbortsWithExpression) {
+  EXPECT_DEATH(PTS_CHECK(2 + 2 == 5), "2 \\+ 2 == 5");
+}
+
+TEST(CheckDeath, FailedCheckMsgIncludesTheMessage) {
+  EXPECT_DEATH(PTS_CHECK_MSG(false, "tenure must be positive"),
+               "tenure must be positive");
+}
+
+TEST(CheckDeath, DcheckTracksBuildMode) {
+#ifdef NDEBUG
+  PTS_DCHECK(false);  // compiled out in release builds
+#else
+  EXPECT_DEATH(PTS_DCHECK(false), "PTS_CHECK failed");
+#endif
 }
 
 }  // namespace

@@ -2,9 +2,12 @@
 // estimator.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "netlist/generator.hpp"
 #include "placement/hpwl.hpp"
 #include "timing/paths.hpp"
+#include "timing/slack.hpp"
 #include "timing/sta.hpp"
 
 namespace pts::timing {
@@ -212,6 +215,77 @@ TEST(Paths, MorePathsTightenTheEstimate) {
   PathTimer few(extract_critical_paths(nl, 2, model), hpwl, model);
   PathTimer many(extract_critical_paths(nl, 16, model), hpwl, model);
   EXPECT_GE(many.max_delay() + 1e-12, few.max_delay());
+}
+
+TEST(Slack, CriticalPathHasZeroSlackAtDefaultTarget) {
+  const Netlist nl = chain();
+  const Layout layout(nl, 1);
+  const Placement p(nl, layout);
+  HpwlState hpwl(p);
+  DelayModel model;
+  model.wire_delay_per_unit = 0.1;
+
+  const SlackResult slack = analyze_slack(nl, hpwl, model);
+  const StaResult sta = run_sta(nl, hpwl, model);
+  EXPECT_NEAR(slack.critical_delay, sta.critical_delay, 1e-12);
+  // Default target == critical delay: the whole chain is critical.
+  EXPECT_NEAR(slack.worst_slack, 0.0, 1e-9);
+  for (const CellId c : sta.critical_path) {
+    EXPECT_NEAR(slack.slack[c], 0.0, 1e-9) << "cell " << c;
+  }
+  // Criticality is normalized to [0, 1] with the critical nets at 1.
+  double max_crit = 0.0;
+  for (const double crit : slack.net_criticality) {
+    EXPECT_GE(crit, 0.0);
+    EXPECT_LE(crit, 1.0 + 1e-12);
+    max_crit = std::max(max_crit, crit);
+  }
+  EXPECT_NEAR(max_crit, 1.0, 1e-9);
+}
+
+TEST(Slack, TighterClockTargetGoesNegative) {
+  const Netlist nl = chain();
+  const Layout layout(nl, 1);
+  const Placement p(nl, layout);
+  HpwlState hpwl(p);
+  const DelayModel model;
+
+  const SlackResult relaxed = analyze_slack(nl, hpwl, model);
+  const double tight_target = relaxed.critical_delay * 0.5;
+  const SlackResult tight = analyze_slack(nl, hpwl, model, tight_target);
+  EXPECT_NEAR(tight.target, tight_target, 1e-12);
+  EXPECT_LT(tight.worst_slack, 0.0);
+  EXPECT_NEAR(tight.worst_slack, -relaxed.critical_delay * 0.5, 1e-9);
+}
+
+TEST(Slack, CriticalityWeightsFavorCriticalNets) {
+  GeneratorConfig config;
+  config.num_gates = 80;
+  config.seed = 9;
+  const Netlist nl = generate_circuit(config);
+  const Layout layout(nl);
+  Rng rng(4);
+  const Placement p = Placement::random(nl, layout, rng);
+  HpwlState hpwl(p);
+  const DelayModel model;
+
+  const SlackResult slack = analyze_slack(nl, hpwl, model);
+  const auto weights = criticality_weights(slack, /*strength=*/2.0, /*gamma=*/2.0);
+  ASSERT_EQ(weights.size(), slack.net_criticality.size());
+  std::size_t most_critical = 0;
+  for (std::size_t n = 0; n < weights.size(); ++n) {
+    EXPECT_GE(weights[n], 1.0 - 1e-12);  // never below the base weight
+    EXPECT_NEAR(weights[n],
+                1.0 + 2.0 * slack.net_criticality[n] * slack.net_criticality[n],
+                1e-9);
+    if (slack.net_criticality[n] > slack.net_criticality[most_critical]) {
+      most_critical = n;
+    }
+  }
+  // The most critical net carries the largest weight.
+  for (const double w : weights) {
+    EXPECT_LE(w, weights[most_critical] + 1e-12);
+  }
 }
 
 }  // namespace
