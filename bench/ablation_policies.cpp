@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
           config.num_tsws = 4;
           config.clws_per_tsw = 2;
           config.tabu.compound.early_accept = early;
+          bench::apply_scale(config, options);
           const auto r = experiments::run_sim(circuit, config);
           cost += r.best_cost;
           quality += r.best_quality;
@@ -48,6 +49,7 @@ int main(int argc, char** argv) {
           auto config = experiments::base_config(circuit, 700 + s, options.quick);
           config.num_tsws = 4;
           config.clws_per_tsw = 4;
+          bench::apply_scale(config, options);
           if (threshold >= 1.0) {
             config.set_policy(parallel::CollectionPolicy::WaitAll);
           } else {
@@ -78,6 +80,7 @@ int main(int argc, char** argv) {
             config.clws_per_tsw = 1;
             config.tabu.attribute = attribute;
             config.tabu.tenure = tenure;
+            bench::apply_scale(config, options);
             const auto r = experiments::run_sim(circuit, config);
             cost += r.best_cost;
             rejections += static_cast<double>(r.stats.rejected_tabu);

@@ -2,11 +2,16 @@
 //
 // Every figure binary accepts:
 //   --quick        shrink iteration budgets (default: paper-scale budgets)
+//   --smoke        seconds-long CI tier: implies --quick, 1 seed, the two
+//                  smallest circuits, and iteration budgets clamped by
+//                  apply_scale() — proves the harness runs end to end, not
+//                  that its curves are meaningful
 //   --full         alias for --quick=false (explicit)
 //   --circuit c532 restrict to one circuit
 //   --seeds N      number of independent seeds averaged per point
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -21,6 +26,7 @@ namespace pts::bench {
 
 struct BenchOptions {
   bool quick = false;
+  bool smoke = false;
   std::vector<std::string> circuits;
   std::size_t seeds = 2;
 };
@@ -30,15 +36,30 @@ inline BenchOptions parse_options(int argc, char** argv,
   set_log_level(LogLevel::Warn);
   const Cli cli(argc, argv);
   BenchOptions options;
-  options.quick = cli.get_flag("quick") && !cli.get_flag("full");
+  options.smoke = cli.get_flag("smoke");
+  options.quick =
+      (cli.get_flag("quick") || options.smoke) && !cli.get_flag("full");
   options.seeds = static_cast<std::size_t>(
       cli.get_int("seeds", static_cast<std::int64_t>(default_seeds)));
   if (cli.has("circuit")) {
     options.circuits = {cli.get("circuit", "")};
+  } else if (options.smoke) {
+    options.circuits = {"highway", "c532"};
   } else {
     options.circuits = experiments::circuit_names();
   }
+  // Smoke defaults to a single seed, but an explicit --seeds N still wins.
+  if (options.smoke && !cli.has("seeds")) options.seeds = 1;
   return options;
+}
+
+/// Clamps a run configuration to smoke budgets. Call after base_config()
+/// (and after any per-figure overrides of the iteration counts) on every
+/// config a harness is about to run; a no-op outside --smoke.
+inline void apply_scale(parallel::PtsConfig& config, const BenchOptions& options) {
+  if (!options.smoke) return;
+  config.global_iterations = std::min<std::size_t>(config.global_iterations, 2);
+  config.local_iterations = std::min<std::size_t>(config.local_iterations, 2);
 }
 
 inline void print_header(const char* figure, const char* description) {

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
         auto config = experiments::base_config(circuit, 100 + s, options.quick);
         config.num_tsws = 4;
         config.clws_per_tsw = clws;
+        bench::apply_scale(config, options);
         const auto result = experiments::run_sim(circuit, config);
         cost_sum += result.best_cost;
         quality_sum += result.best_quality;

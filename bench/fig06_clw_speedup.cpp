@@ -9,9 +9,12 @@
 int main(int argc, char** argv) {
   using namespace pts;
   auto options = bench::parse_options(argc, argv);
-  // The paper plots two circuits; default to one small + one large.
+  // The paper plots two circuits; default to one small + one large (smoke
+  // keeps the small pair parse_options selected).
   const Cli cli(argc, argv);
-  if (!cli.has("circuit")) options.circuits = {"c532", "c3540"};
+  if (!cli.has("circuit") && !options.smoke) {
+    options.circuits = {"c532", "c3540"};
+  }
   bench::print_header("Figure 6", "speedup vs #CLWs (t(1,x)/t(n,x))");
 
   std::vector<Series> speedups;
@@ -20,6 +23,7 @@ int main(int argc, char** argv) {
     const auto& circuit = experiments::circuit(name);
     auto config = experiments::base_config(circuit, 42, options.quick);
     config.num_tsws = 4;
+    bench::apply_scale(config, options);
     const auto m = experiments::measure_speedup(
         circuit, config, experiments::VaryWorkers::Clws, {1, 2, 3, 4},
         /*improvement_fraction=*/0.7, options.seeds);

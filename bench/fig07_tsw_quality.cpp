@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
         auto config = experiments::base_config(circuit, 200 + s, options.quick);
         config.num_tsws = tsws;
         config.clws_per_tsw = 1;
+        bench::apply_scale(config, options);
         const auto result = experiments::run_sim(circuit, config);
         cost_sum += result.best_cost;
         quality_sum += result.best_quality;

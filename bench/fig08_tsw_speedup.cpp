@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
     const auto& circuit = experiments::circuit(name);
     auto config = experiments::base_config(circuit, 31, options.quick);
     config.clws_per_tsw = 1;
+    bench::apply_scale(config, options);
     const auto m = experiments::measure_speedup(
         circuit, config, experiments::VaryWorkers::Tsws, {1, 2, 4, 6, 8},
         /*improvement_fraction=*/0.7, options.seeds);

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
       auto config = experiments::base_config(circuit, 300 + s, options.quick);
       config.num_tsws = 4;
       config.clws_per_tsw = 1;
+      bench::apply_scale(config, options);
       config.diversify.enabled = true;
       const auto with = experiments::run_sim(circuit, config);
       config.diversify.enabled = false;

@@ -15,7 +15,8 @@ int main(int argc, char** argv) {
   // costs one diversification step (depth * width trials) plus L local
   // iterations (width * depth trials each through its CLW). More
   // diversification (higher G) therefore means fewer local iterations.
-  const std::size_t budget_trials = (options.quick ? 24u : 48u) * 24u;
+  const std::size_t budget_trials =
+      (options.smoke ? 8u : options.quick ? 24u : 48u) * 24u;
   std::vector<std::pair<std::size_t, std::size_t>> mixes;
   {
     parallel::PtsConfig probe;  // defaults for the work constants

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
     auto config = experiments::base_config(circuit, 500, options.quick);
     config.num_tsws = 4;
     config.clws_per_tsw = 4;
+    bench::apply_scale(config, options);
 
     config.set_policy(parallel::CollectionPolicy::HalfForce);
     const auto het = experiments::run_sim(circuit, config);

@@ -20,8 +20,7 @@ AnnealResult anneal(cost::Evaluator& eval, const AnnealParams& params, Rng& rng)
   for (std::size_t i = 0; i < 64; ++i) {
     const auto move = tabu::sample_move(netlist, range, rng);
     const double before = eval.cost();
-    const double after = eval.apply_swap(move.a, move.b);
-    eval.apply_swap(move.a, move.b);
+    const double after = eval.probe_swap(move.a, move.b);
     if (after > before) {
       uphill_sum += after - before;
       ++uphill_count;
@@ -43,19 +42,19 @@ AnnealResult anneal(cost::Evaluator& eval, const AnnealParams& params, Rng& rng)
   while (temperature > final_temperature) {
     for (std::size_t i = 0; i < moves_per_temp; ++i) {
       const auto move = tabu::sample_move(netlist, range, rng);
-      const double after = eval.apply_swap(move.a, move.b);
+      const double after = eval.probe_swap(move.a, move.b);
       ++result.moves_tried;
       const double delta = after - current;
       if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temperature)) {
-        current = after;
+        // Accept: promote the probe (one incremental pass total). A reject
+        // costs nothing further — the probe never touched committed state.
+        current = eval.commit_probe();
         ++result.moves_accepted;
         if (current < result.best_cost) {
           result.best_cost = current;
           result.best_slots = eval.placement().slots();
           result.best_quality = eval.quality();
         }
-      } else {
-        eval.apply_swap(move.a, move.b);  // reject: undo
       }
     }
     if (params.trace_stride != 0 && temp_step % params.trace_stride == 0) {

@@ -25,8 +25,7 @@ LocalSearchResult local_search(cost::Evaluator& eval,
     bool have = false;
     for (std::size_t c = 0; c < params.candidates_per_iteration; ++c) {
       const auto move = tabu::sample_move(netlist, range, rng);
-      const double after = eval.apply_swap(move.a, move.b);
-      eval.apply_swap(move.a, move.b);
+      const double after = eval.probe_swap(move.a, move.b);
       if (after < best_cost) {
         best = move;
         best_cost = after;
@@ -34,7 +33,7 @@ LocalSearchResult local_search(cost::Evaluator& eval,
       }
     }
     if (have) {
-      current = eval.apply_swap(best.a, best.b);
+      current = eval.commit_swap(best.a, best.b);
       stale = 0;
       if (current < result.best_cost) {
         result.best_cost = current;

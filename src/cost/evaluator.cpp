@@ -26,6 +26,7 @@ Objectives Evaluator::objectives() const {
 }
 
 double Evaluator::apply_swap(CellId a, CellId b) {
+  probe_valid_ = false;
   moved_scratch_.clear();
   placement_.swap_cells(a, b, &moved_scratch_);
 
@@ -44,7 +45,58 @@ double Evaluator::apply_swap(CellId a, CellId b) {
   return cost();
 }
 
+double Evaluator::probe_swap(CellId a, CellId b) {
+  // Same pass as apply_swap up to and including box recomputation, but the
+  // new boxes, the HPWL delta, and the path sums land in scratch; the
+  // geometry swap is reverted before returning (swap_cells is an exact
+  // involution), so no observable state changes.
+  moved_scratch_.clear();
+  placement_.swap_cells(a, b, &moved_scratch_);
+
+  marker_.begin();
+  const auto& netlist = placement_.netlist();
+  for (CellId cell : moved_scratch_) marker_.add_nets_of(netlist, cell);
+
+  change_scratch_.clear();
+  probe_delta_ = hpwl_.probe_nets(marker_.nets(), &box_scratch_, &change_scratch_);
+
+  // Mirror objectives()/cost() term by term: `total_ + delta` is the exact
+  // expression update_nets() folds into the running total, and peek_delta
+  // replays the apply_net_change/max_delay sequence on scratch sums.
+  Objectives o;
+  o.wirelength = hpwl_.total() + probe_delta_;
+  o.delay = timer_.peek_delta(change_scratch_);
+  o.area = placement_.max_row_extent() * placement_.layout().core_height();
+  const double probed_cost = goals_.cost(o);
+
+  placement_.swap_cells(a, b);  // restore geometry
+  probe_a_ = a;
+  probe_b_ = b;
+  probe_valid_ = true;
+  return probed_cost;
+}
+
+double Evaluator::commit_probe() {
+  PTS_CHECK_MSG(probe_valid_,
+                "commit_probe() without an immediately preceding probe_swap()");
+  probe_valid_ = false;
+  placement_.swap_cells(probe_a_, probe_b_);
+  hpwl_.commit_probe(marker_.nets(), box_scratch_, probe_delta_);
+  timer_.commit_peek();
+
+  ++swaps_applied_;
+  if (++swaps_since_rebuild_ >= params_.rebuild_interval) rebuild_all();
+  return cost();
+}
+
+double Evaluator::commit_swap(CellId a, CellId b) {
+  const bool pending = probe_valid_ && ((probe_a_ == a && probe_b_ == b) ||
+                                        (probe_a_ == b && probe_b_ == a));
+  return pending ? commit_probe() : apply_swap(a, b);
+}
+
 void Evaluator::reset_placement(const std::vector<CellId>& cell_at_slot) {
+  probe_valid_ = false;
   placement_.assign_slots(cell_at_slot);
   rebuild_all();
 }

@@ -2,14 +2,31 @@
 //
 // The Evaluator owns a Placement and keeps the HPWL state and the K-paths
 // delay estimate consistent with it across swaps. It is the single mutation
-// point used by the tabu engine and by every candidate-list worker:
+// point used by the tabu engine and by every candidate-list worker.
+//
+// Trial loops score candidate swaps with the probe/commit idiom
+// (DESIGN.md §3): probe_swap() computes the would-be cost into member
+// scratch without changing any observable state, and commit_probe()
+// promotes the immediately preceding probe for the price of the bookkeeping
+// alone — so a rejected trial costs one incremental pass instead of the
+// mutate-and-undo pair's two:
+//
+//   double after = eval.probe_swap(a, b);   // no observable state change
+//   if (accept) eval.commit_probe();        // promote that probe; else: done
+//
+// probe_swap() is bit-identical to what apply_swap() would have returned
+// against the same running totals (same floating-point summation order), and
+// a commit leaves state bit-identical to the equivalent apply_swap() — the
+// same-seed determinism guarantee does not care which path evaluated a move.
+// Committed mutation stays available for non-trial uses:
 //
 //   double after = eval.apply_swap(a, b);   // mutate + incremental update
 //   ...
 //   eval.apply_swap(a, b);                  // swap is an involution: undo
 //
 // Each worker owns its own Evaluator (its private copy of the current
-// solution); the PathSet is immutable and shared.
+// solution); the PathSet is immutable and shared. Probe scratch lives in the
+// Evaluator, so neither probe nor apply allocates in steady state.
 #pragma once
 
 #include <memory>
@@ -63,6 +80,28 @@ class Evaluator {
   /// undoes the move.
   double apply_swap(netlist::CellId a, netlist::CellId b);
 
+  /// Returns the scalar cost apply_swap(a, b) would return, without
+  /// changing any observable state (the placement is swapped and restored
+  /// internally; HPWL boxes, totals, and path sums are computed into member
+  /// scratch). Bit-identical to apply_swap() against the same running
+  /// totals, except that a probe never triggers the periodic rebuild —
+  /// probes add no floating-point drift, so only committed swaps count
+  /// toward rebuild_interval.
+  double probe_swap(netlist::CellId a, netlist::CellId b);
+
+  /// Promotes the immediately preceding probe_swap() into the committed
+  /// state and returns the new scalar cost. The resulting state is
+  /// bit-identical to apply_swap() of the probed pair, but costs only the
+  /// geometry swap plus scratch promotion — no second incremental pass.
+  /// Invalid after any intervening apply_swap()/reset_placement().
+  double commit_probe();
+
+  /// Commits the winning swap of a trial loop: promotes the pending probe
+  /// when it is for this pair (either orientation — a swap is symmetric),
+  /// otherwise falls back to apply_swap(a, b). Both paths leave
+  /// bit-identical state, so callers need not track which trial won.
+  double commit_swap(netlist::CellId a, netlist::CellId b);
+
   /// Replaces the current solution (e.g. with a broadcast best) and fully
   /// rebuilds incremental state.
   void reset_placement(const std::vector<netlist::CellId>& cell_at_slot);
@@ -88,6 +127,14 @@ class Evaluator {
   placement::NetMarker marker_;
   std::vector<netlist::CellId> moved_scratch_;
   std::vector<placement::NetChange> change_scratch_;
+  std::vector<placement::NetBox> box_scratch_;
+  // Pending probe: the pair, its weighted HPWL delta, and whether the
+  // scratch (box_scratch_, change_scratch_, marker_ nets, the timer's peek
+  // sums) still describes it. Cleared by any committed mutation.
+  netlist::CellId probe_a_ = netlist::kNoCell;
+  netlist::CellId probe_b_ = netlist::kNoCell;
+  double probe_delta_ = 0.0;
+  bool probe_valid_ = false;
   std::size_t swaps_applied_ = 0;
   std::size_t swaps_since_rebuild_ = 0;
 };

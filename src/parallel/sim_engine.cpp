@@ -91,6 +91,11 @@ void SimEngine::run_local_iteration(SimTsw& tsw) {
     double t = 0.0;
     while (!clw.search.done()) {
       clw.search.step();
+      // Each trial is still charged the same `trial_work` virtual units it
+      // always was, even though step() now probes instead of mutate-and-
+      // undo (roughly half the real work). The paper's Figs. 5-11 are
+      // shaped by work/speed ratios in *virtual* time, so the probe
+      // refactor speeds up wall-clock without moving any reported curve.
       t += clw.machine.time_for(costs.trial_work, clw.time_rng);
       clw.step_end.push_back(t);
     }

@@ -33,10 +33,10 @@ void ClwSearch::step() {
   PTS_CHECK(!done_);
   PTS_CHECK(eval_ != nullptr && rng_ != nullptr);
 
-  // One trial: sample, apply, measure, undo.
+  // One trial: sample and probe (no mutate-and-undo; the probe leaves the
+  // evaluator untouched, so a trial costs one incremental pass).
   const Move move = tabu::sample_move(eval_->placement().netlist(), range_, *rng_);
-  const double cost_after = eval_->apply_swap(move.a, move.b);
-  eval_->apply_swap(move.a, move.b);
+  const double cost_after = eval_->probe_swap(move.a, move.b);
   if (!have_level_best_ || cost_after < level_best_cost_) {
     level_best_ = move;
     level_best_cost_ = cost_after;
@@ -47,8 +47,9 @@ void ClwSearch::step() {
 
   if (trial_in_level_ < params_.width) return;
 
-  // Level complete: apply the level's best swap permanently.
-  current_cost_ = eval_->apply_swap(level_best_.a, level_best_.b);
+  // Level complete: promote the level's best swap permanently (reusing the
+  // pending probe when the winner was the trial probed last).
+  current_cost_ = eval_->commit_swap(level_best_.a, level_best_.b);
   applied_.push_back(level_best_);
   if (best_prefixes_.empty() || current_cost_ < best_prefixes_.back().cost) {
     best_prefixes_.push_back({steps_, applied_.size(), current_cost_});

@@ -41,6 +41,32 @@ double HpwlState::update_nets(std::span<const NetId> nets,
   return delta;
 }
 
+double HpwlState::probe_nets(std::span<const NetId> nets,
+                             std::vector<NetBox>* scratch,
+                             std::vector<NetChange>* changes) const {
+  PTS_DCHECK(scratch != nullptr);
+  scratch->resize(nets.size());
+  double delta = 0.0;
+  const auto& netlist = placement_->netlist();
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    const NetId net = nets[i];
+    const double before = boxes_[net].half_perimeter();
+    (*scratch)[i] = compute_box(net);
+    const double after = (*scratch)[i].half_perimeter();
+    if (before == after) continue;
+    delta += netlist.net(net).weight * (after - before);
+    if (changes != nullptr) changes->push_back({net, before, after});
+  }
+  return delta;
+}
+
+void HpwlState::commit_probe(std::span<const NetId> nets,
+                             const std::vector<NetBox>& scratch, double delta) {
+  PTS_DCHECK(scratch.size() == nets.size());
+  for (std::size_t i = 0; i < nets.size(); ++i) boxes_[nets[i]] = scratch[i];
+  total_ += delta;
+}
+
 void HpwlState::rebuild() {
   const auto& netlist = placement_->netlist();
   total_ = 0.0;

@@ -9,6 +9,14 @@
 // to floating-point summation order in the running total; callers that
 // perform long update sequences (the cost Evaluator) rebuild() periodically
 // to cap drift.
+//
+// Trial moves use the probe/commit pair instead (DESIGN.md §3): probe_nets()
+// recomputes the same boxes into caller-owned scratch and returns the
+// weighted delta without touching the committed state; commit_probe()
+// promotes that scratch wholesale. probe_nets() accumulates its delta in the
+// exact summation order update_nets() would use, so
+// `total() + probe_nets(...)` is bit-identical to the total() after
+// update_nets() on the same nets against the same committed state.
 #pragma once
 
 #include <span>
@@ -55,6 +63,23 @@ class HpwlState {
   /// is non-null, appends one NetChange per net whose half-perimeter moved.
   double update_nets(std::span<const netlist::NetId> nets,
                      std::vector<NetChange>* changes = nullptr);
+
+  /// Probe counterpart of update_nets(): recomputes the boxes of `nets`
+  /// against the current placement geometry into `scratch` (resized to
+  /// nets.size(), index-aligned with `nets` — no allocation once capacity is
+  /// reached) and returns the change in weighted total, without modifying
+  /// the committed boxes or total. Appends the same NetChanges update_nets()
+  /// would. The delta is accumulated in update_nets()'s exact summation
+  /// order so the would-be total `total() + delta` is bit-identical.
+  double probe_nets(std::span<const netlist::NetId> nets,
+                    std::vector<NetBox>* scratch,
+                    std::vector<NetChange>* changes = nullptr) const;
+
+  /// Promotes a preceding probe_nets() over the same `nets`: installs the
+  /// scratch boxes and folds `delta` into the total, producing state
+  /// bit-identical to what update_nets(nets) would have produced.
+  void commit_probe(std::span<const netlist::NetId> nets,
+                    const std::vector<NetBox>& scratch, double delta);
 
   /// Full recomputation from the placement.
   void rebuild();

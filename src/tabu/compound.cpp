@@ -18,8 +18,7 @@ CompoundMove build_compound_move(cost::Evaluator& eval, const CellRange& range,
     bool have_best = false;
     for (std::size_t trial = 0; trial < params.width; ++trial) {
       const Move move = sample_move(eval.placement().netlist(), range, rng);
-      double cost_after = eval.apply_swap(move.a, move.b);
-      eval.apply_swap(move.a, move.b);  // undo trial
+      double cost_after = eval.probe_swap(move.a, move.b);
       if (use_memory) cost_after = memory->adjusted_cost(move, cost_after);
       if (!have_best || cost_after < best_cost) {
         best = move;
@@ -30,7 +29,7 @@ CompoundMove build_compound_move(cost::Evaluator& eval, const CellRange& range,
     PTS_CHECK(have_best);
     // Keep the level's best move (even if it degrades cost — that is what
     // lets the compound move escape local minima).
-    compound.cost = eval.apply_swap(best.a, best.b);
+    compound.cost = eval.commit_swap(best.a, best.b);
     compound.swaps.push_back(best);
     if (params.early_accept && compound.cost < start_cost) {
       compound.improved_early = true;

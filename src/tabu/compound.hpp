@@ -1,10 +1,11 @@
 // Compound move construction (the candidate-list worker's core loop).
 //
 // Per the paper: a compound move is built over up to `depth` levels. At each
-// level, `width` candidate pairs are trial-swapped (applied, measured,
-// undone) and the best one is kept and applied. If the running cost drops
-// below the starting cost before reaching max depth, the compound move is
-// accepted immediately without further investigation (early accept).
+// level, `width` candidate pairs are scored with Evaluator::probe_swap (one
+// incremental pass per trial, no mutate-and-undo) and the best one is kept
+// and committed. If the running cost drops below the starting cost before
+// reaching max depth, the compound move is accepted immediately without
+// further investigation (early accept).
 //
 // On return the evaluator HAS the compound move applied; undo_compound()
 // reverts it (swaps are involutions, so undo re-applies them in reverse).

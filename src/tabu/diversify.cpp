@@ -15,8 +15,7 @@ std::vector<Move> diversify(cost::Evaluator& eval, const CellRange& range,
     bool have = false;
     for (std::size_t trial = 0; trial < params.width; ++trial) {
       const Move move = sample_move(netlist, range, rng);
-      const double cost_after = eval.apply_swap(move.a, move.b);
-      eval.apply_swap(move.a, move.b);
+      const double cost_after = eval.probe_swap(move.a, move.b);
       if (!have || cost_after < best_cost) {
         best = move;
         best_cost = cost_after;
@@ -24,7 +23,7 @@ std::vector<Move> diversify(cost::Evaluator& eval, const CellRange& range,
       }
     }
     PTS_CHECK(have);
-    eval.apply_swap(best.a, best.b);
+    eval.commit_swap(best.a, best.b);
     applied.push_back(best);
   }
   return applied;

@@ -97,6 +97,24 @@ void PathTimer::apply_net_change(NetId net, double old_hpwl, double new_hpwl) {
   }
 }
 
+double PathTimer::peek_delta(std::span<const placement::NetChange> changes) {
+  peek_sum_.assign(wire_sum_.begin(), wire_sum_.end());
+  for (const auto& change : changes) {
+    for (std::uint32_t p : paths_->paths_of_net(change.net)) {
+      peek_sum_[p] += change.new_hpwl - change.old_hpwl;
+    }
+  }
+  // Same reduction as max_delay()/path_delay(), against the scratch sums.
+  double best = 0.0;
+  for (std::size_t p = 0; p < peek_sum_.size(); ++p) {
+    best = std::max(best,
+                    paths_->path(p).const_delay + model_.wire_delay(peek_sum_[p]));
+  }
+  return best;
+}
+
+void PathTimer::commit_peek() { wire_sum_.swap(peek_sum_); }
+
 void PathTimer::rebuild(const placement::HpwlState& hpwl) {
   wire_sum_.assign(paths_->size(), 0.0);
   for (std::size_t p = 0; p < paths_->size(); ++p) {

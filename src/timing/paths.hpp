@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "netlist/netlist.hpp"
@@ -67,6 +68,18 @@ class PathTimer {
   /// Folds one net's HPWL change into the affected path wire sums.
   void apply_net_change(netlist::NetId net, double old_hpwl, double new_hpwl);
 
+  /// Probe counterpart of apply_net_change()+max_delay(): returns the delay
+  /// estimate that applying `changes` would produce, computed on a scratch
+  /// copy of the wire sums (committed sums untouched; no allocation once
+  /// the scratch reaches K doubles). Folds the changes in the exact order
+  /// apply_net_change() would and maxes in max_delay()'s loop order, so the
+  /// result is bit-identical to the committed sequence.
+  double peek_delta(std::span<const placement::NetChange> changes);
+
+  /// Promotes the scratch sums of the immediately preceding peek_delta().
+  /// Only valid directly after peek_delta() with no intervening mutation.
+  void commit_peek();
+
   /// Re-derives all wire sums from `hpwl` (drift control / after rebuild).
   void rebuild(const placement::HpwlState& hpwl);
 
@@ -84,6 +97,7 @@ class PathTimer {
   std::shared_ptr<const PathSet> paths_;
   DelayModel model_;
   std::vector<double> wire_sum_;
+  std::vector<double> peek_sum_;  // scratch for peek_delta/commit_peek
 };
 
 }  // namespace pts::timing
