@@ -1,35 +1,24 @@
 // Comparing tabu search against the memoryless heuristics the paper's
-// introduction contrasts it with: steepest-descent local search (gets
-// trapped in local optima) and simulated annealing, plus the parallel TS.
-// All methods share the same cost model, initial solution and a roughly
-// equal move-evaluation budget.
-//
-// Usage: anneal_vs_tabu [--circuit c532] [--budget 20000]
+// introduction contrasts it with — steepest-descent local search (gets
+// trapped in local optima), simulated annealing, and the parallel TS —
+// every method through the same pts::solver front door. One shared seed
+// means every engine starts from the identical random placement and goal
+// calibration, so the costs are directly comparable; budgets are matched
+// in move evaluations (the SA budget is enforced with
+// StopConditions::max_iterations rather than a tuned schedule).
+#include <algorithm>
 #include <cstdio>
 
-#include "baselines/annealing.hpp"
-#include "baselines/constructive.hpp"
-#include "baselines/local_search.hpp"
 #include "experiments/workloads.hpp"
+#include "solver/solver.hpp"
 #include "support/cli.hpp"
 #include "support/log.hpp"
-#include "parallel/pts.hpp"
-#include "tabu/search.hpp"
 
 namespace {
 
-std::unique_ptr<pts::cost::Evaluator> fresh_eval(
-    const pts::netlist::Netlist& nl, const pts::placement::Layout& layout,
-    const pts::cost::FuzzyGoals& goals,
-    const std::vector<pts::netlist::CellId>& slots) {
-  pts::cost::CostParams params;
-  auto paths = pts::timing::extract_critical_paths(nl, params.num_paths,
-                                                   params.delay_model);
-  pts::placement::Placement p(nl, layout);
-  p.assign_slots(slots);
-  return std::make_unique<pts::cost::Evaluator>(std::move(p), std::move(paths),
-                                                params, goals);
-}
+constexpr const char kUsage[] =
+    "usage: anneal_vs_tabu [--circuit c532] [--budget 20000] [--seed 5]\n"
+    "                      [--help]\n";
 
 }  // namespace
 
@@ -37,79 +26,79 @@ int main(int argc, char** argv) {
   using namespace pts;
   const Cli cli(argc, argv);
   set_log_level(LogLevel::Warn);
+  if (cli.get_flag("help")) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
 
   const std::string name = cli.get("circuit", "c532");
-  const auto& circuit = experiments::circuit(name);
-  const placement::Layout layout(circuit);
   const auto budget = static_cast<std::size_t>(cli.get_int("budget", 20000));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 5));
+  cli.reject_unused(kUsage);
 
-  // Shared initial solution and goals.
-  Rng rng(5);
-  const auto initial = baselines::random_placement(circuit, layout, rng);
-  cost::CostParams cost_params;
-  auto paths = timing::extract_critical_paths(circuit, cost_params.num_paths,
-                                              cost_params.delay_model);
-  const auto goals =
-      cost::Evaluator::calibrate_goals(initial, *paths, cost_params);
-  const auto slots = initial.slots();
+  const auto& circuit = experiments::circuit(name);
+  const solver::Solver solver;
+  const auto spec_for = [&](std::string_view engine) {
+    return experiments::base_spec(circuit, engine, seed, /*quick=*/false);
+  };
 
-  std::printf("circuit %s, %zu move evaluations per method\n\n",
-              circuit.name().c_str(), budget);
+  std::printf("circuit %s, ~%zu move evaluations per method, seed %llu\n\n",
+              circuit.name().c_str(), budget,
+              static_cast<unsigned long long>(seed));
   std::printf("%-22s %10s %10s\n", "method", "best cost", "quality");
   std::printf("--------------------------------------------\n");
   {
-    auto eval = fresh_eval(circuit, layout, goals, slots);
-    std::printf("%-22s %10.4f %10.4f\n", "initial (random)", eval->cost(),
-                eval->quality());
+    const auto result = solver.solve(spec_for("constructive"));
+    std::printf("%-22s %10.4f %10s\n", "initial (random)", result.initial_cost,
+                "-");
+    std::printf("%-22s %10.4f %10.4f  (construction, no search)\n",
+                "greedy constructive", result.best_cost, result.best_quality);
   }
   {
-    auto eval = fresh_eval(circuit, layout, goals, slots);
-    baselines::LocalSearchParams params;
-    params.candidates_per_iteration = 8;
-    params.max_iterations = budget / params.candidates_per_iteration;
-    Rng r(21);
-    const auto result = baselines::local_search(*eval, params, r);
+    auto spec = spec_for("local");
+    spec.local.candidates_per_iteration = 8;
+    spec.local.max_iterations = budget / spec.local.candidates_per_iteration;
+    const auto result = solver.solve(spec);
     std::printf("%-22s %10.4f %10.4f  (%s after %zu iterations)\n",
                 "local search", result.best_cost, result.best_quality,
-                result.converged ? "converged" : "budget out", result.iterations);
+                result.converged ? "converged" : "budget out",
+                result.iterations);
   }
   {
-    auto eval = fresh_eval(circuit, layout, goals, slots);
-    baselines::AnnealParams params;
-    params.moves_per_temp = circuit.num_movable();
-    // Pick the cooling rate so the schedule roughly matches the budget.
-    params.cooling = 0.9;
-    Rng r(22);
-    const auto result = baselines::anneal(*eval, params, r);
-    std::printf("%-22s %10.4f %10.4f  (%zu moves, %.0f%% accepted)\n",
+    auto spec = spec_for("anneal");
+    spec.anneal.moves_per_temp = circuit.num_movable();
+    spec.anneal.cooling = 0.9;
+    spec.stop.max_iterations = budget;  // cap SA moves via run control
+    const auto result = solver.solve(spec);
+    std::printf("%-22s %10.4f %10.4f  (%zu moves, %.0f%% accepted, %s)\n",
                 "simulated annealing", result.best_cost, result.best_quality,
-                result.moves_tried,
-                100.0 * static_cast<double>(result.moves_accepted) /
-                    static_cast<double>(result.moves_tried));
+                result.iterations,
+                100.0 * static_cast<double>(result.stats.accepted) /
+                    static_cast<double>(result.iterations),
+                stop_reason_name(result.stop_reason));
   }
   {
-    auto eval = fresh_eval(circuit, layout, goals, slots);
-    tabu::TabuParams params;
+    auto spec = spec_for("tabu");
     const std::size_t per_iter =
-        params.compound.width * params.compound.depth;
-    params.iterations = budget / per_iter;
-    tabu::TabuSearch search(*eval, params, Rng(23));
-    const auto result = search.run();
+        spec.tabu.compound.width * spec.tabu.compound.depth;
+    spec.tabu.iterations = budget / per_iter;
+    const auto result = solver.solve(spec);
     std::printf("%-22s %10.4f %10.4f  (%zu iterations)\n", "tabu search (seq)",
-                result.best_cost, result.best_quality, result.stats.iterations);
+                result.best_cost, result.best_quality, result.iterations);
   }
   {
-    auto config = experiments::base_config(circuit, 5, /*quick=*/false);
-    config.num_tsws = 4;
-    config.clws_per_tsw = 2;
+    auto spec = spec_for("parallel-sim");
+    spec.parallel.num_tsws = 4;
+    spec.parallel.clws_per_tsw = 2;
     // Match the total budget across all workers.
-    const std::size_t per_local = config.num_tsws * config.clws_per_tsw *
-                                  config.tabu.compound.width *
-                                  config.tabu.compound.depth;
-    config.local_iterations = std::max<std::size_t>(1, budget / per_local / 4);
-    config.global_iterations = 4;
-    const auto result =
-        parallel::ParallelTabuSearch(circuit, config).run_sim();
+    const std::size_t per_local = spec.parallel.num_tsws *
+                                  spec.parallel.clws_per_tsw *
+                                  spec.tabu.compound.width *
+                                  spec.tabu.compound.depth;
+    spec.parallel.local_iterations =
+        std::max<std::size_t>(1, budget / per_local / 4);
+    spec.parallel.global_iterations = 4;
+    const auto result = solver.solve(spec);
     std::printf("%-22s %10.4f %10.4f  (4x2 workers, virtual makespan %.0f)\n",
                 "parallel tabu search", result.best_cost, result.best_quality,
                 result.makespan);

@@ -1,5 +1,6 @@
 // Live demonstration of the heterogeneity mechanism on the threaded
-// message-passing runtime (real threads, throttled to machine profiles).
+// message-passing runtime (real threads, throttled to machine profiles),
+// driven through the pts::solver front door ("parallel-threaded").
 //
 // Runs the same search twice on an emulated 12-machine cluster (7 fast /
 // 3 medium / 2 slow): once with parents waiting for all children
@@ -7,43 +8,58 @@
 // (heterogeneous run). Prints wall-clock makespans — with throttling
 // enabled, the half-force run finishes measurably earlier on real threads,
 // which is the paper's §4.2 effect end to end.
-//
-// Usage: heterogeneous_cluster [--circuit highway] [--throttle 2e-5]
 #include <cstdio>
 
 #include "experiments/workloads.hpp"
-#include "parallel/pts.hpp"
+#include "solver/solver.hpp"
 #include "support/cli.hpp"
 #include "support/log.hpp"
+
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: heterogeneous_cluster [--circuit highway] [--throttle 2e-5]\n"
+    "                             [--help]\n";
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace pts;
   const Cli cli(argc, argv);
   set_log_level(LogLevel::Warn);
+  if (cli.get_flag("help")) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
 
   const std::string name = cli.get("circuit", "highway");
+  const double throttle = cli.get_double("throttle", 2e-5);
+  cli.reject_unused(kUsage);
   const auto& circuit = experiments::circuit(name);
 
-  auto config = experiments::base_config(circuit, 3, /*quick=*/true);
-  config.num_tsws = 4;
-  config.clws_per_tsw = 4;
+  auto spec = experiments::base_spec(circuit, "parallel-threaded", 3,
+                                     /*quick=*/true);
+  spec.parallel.num_tsws = 4;
+  spec.parallel.clws_per_tsw = 4;
   // Strong skew + real throttling so the effect is visible in wall time.
-  config.cluster = pvm::ClusterConfig::three_class(7, 3, 2, 1.0, 0.5, 0.25, 0.0);
-  config.threaded_seconds_per_unit = cli.get_double("throttle", 2e-5);
+  spec.parallel.cluster =
+      pvm::ClusterConfig::three_class(7, 3, 2, 1.0, 0.5, 0.25, 0.0);
+  spec.parallel.threaded_seconds_per_unit = throttle;
 
   std::printf("circuit %s, 4 TSWs x 4 CLWs, cluster: 7 fast / 3 medium / 2 slow\n",
               circuit.name().c_str());
   std::printf("%zu tasks on %zu emulated machines (threaded engine, throttled)\n\n",
-              1 + config.num_tsws * (1 + config.clws_per_tsw),
-              config.cluster.size());
+              1 + spec.parallel.num_tsws * (1 + spec.parallel.clws_per_tsw),
+              spec.parallel.cluster.size());
 
-  config.set_policy(parallel::CollectionPolicy::WaitAll);
-  const auto hom = parallel::ParallelTabuSearch(circuit, config).run_threaded();
+  const solver::Solver solver;
+  spec.parallel.set_policy(parallel::CollectionPolicy::WaitAll);
+  const auto hom = solver.solve(spec);
   std::printf("homogeneous run   (wait-all):   %.3f s wall, best cost %.4f\n",
               hom.makespan, hom.best_cost);
 
-  config.set_policy(parallel::CollectionPolicy::HalfForce);
-  const auto het = parallel::ParallelTabuSearch(circuit, config).run_threaded();
+  spec.parallel.set_policy(parallel::CollectionPolicy::HalfForce);
+  const auto het = solver.solve(spec);
   std::printf("heterogeneous run (half-force): %.3f s wall, best cost %.4f\n",
               het.makespan, het.best_cost);
 

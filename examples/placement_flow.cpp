@@ -1,42 +1,32 @@
-// Full placement flow on one circuit, exercising the substrate APIs
-// directly: netlist generation and IO, layout, initial placement
-// construction (random vs greedy), sequential tabu search, and exact
-// static timing verification of the final solution.
-//
-// Usage: placement_flow [--circuit c532] [--iterations 300]
-//                       [--save out.net] [--svg out.svg]
+// Full placement flow on one circuit: netlist generation and IO, layout,
+// constructive initial placement (random vs greedy) and sequential tabu
+// search via the pts::solver front door, then exact static timing
+// verification and an SVG render of the final solution through the
+// substrate APIs.
+#include <algorithm>
 #include <cstdio>
 
-#include "baselines/constructive.hpp"
 #include "experiments/workloads.hpp"
 #include "netlist/io.hpp"
+#include "placement/hpwl.hpp"
+#include "placement/svg.hpp"
+#include "solver/solver.hpp"
 #include "support/cli.hpp"
 #include "support/log.hpp"
-#include "placement/svg.hpp"
-#include "tabu/search.hpp"
 #include "timing/slack.hpp"
 #include "timing/sta.hpp"
 
 namespace {
 
-std::unique_ptr<pts::cost::Evaluator> evaluator_for(
-    const pts::netlist::Netlist& nl, pts::placement::Placement placement,
-    const pts::cost::FuzzyGoals* shared_goals = nullptr) {
-  pts::cost::CostParams params;
-  auto paths = pts::timing::extract_critical_paths(nl, params.num_paths,
-                                                   params.delay_model);
-  const auto goals =
-      shared_goals != nullptr
-          ? *shared_goals
-          : pts::cost::Evaluator::calibrate_goals(placement, *paths, params);
-  return std::make_unique<pts::cost::Evaluator>(std::move(placement),
-                                                std::move(paths), params, goals);
-}
+constexpr const char kUsage[] =
+    "usage: placement_flow [--circuit c532] [--iterations 300] [--seed 7]\n"
+    "                      [--save out.net] [--svg out.svg] [--help]\n";
 
-void report(const char* label, const pts::cost::Evaluator& eval) {
-  const auto o = eval.objectives();
+void report(const char* label, const pts::solver::SolveResult& result) {
+  const auto& o = result.best_objectives;
   std::printf("%-18s cost=%.4f quality=%.4f wire=%.0f delay=%.2f area=%.0f\n",
-              label, eval.cost(), eval.quality(), o.wirelength, o.delay, o.area);
+              label, result.best_cost, result.best_quality, o.wirelength,
+              o.delay, o.area);
 }
 
 }  // namespace
@@ -45,73 +35,81 @@ int main(int argc, char** argv) {
   using namespace pts;
   const Cli cli(argc, argv);
   set_log_level(LogLevel::Warn);
+  if (cli.get_flag("help")) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
 
   const std::string name = cli.get("circuit", "c532");
+  const auto iterations =
+      static_cast<std::size_t>(cli.get_int("iterations", 300));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  const bool want_save = cli.has("save");
+  const std::string save_path = cli.get("save", "circuit.net");
+  const bool want_svg = cli.has("svg");
+  const std::string svg_path = cli.get("svg", "placement.svg");
+  cli.reject_unused(kUsage);
+
   const auto& circuit = experiments::circuit(name);
   const placement::Layout layout(circuit);
   std::printf("circuit %s: %zu cells / %zu nets, layout %zux%zu slots\n",
               circuit.name().c_str(), circuit.num_movable(), circuit.num_nets(),
               layout.num_rows(), layout.slots_per_row());
 
-  // Two constructive starting points.
-  Rng rng(7);
-  auto random_eval = evaluator_for(
-      circuit, baselines::random_placement(circuit, layout, rng));
-  report("random initial", *random_eval);
-  {
-    // Use the random run's goals so the two costs are comparable.
-    const auto goals = random_eval->goals();
-    auto greedy_eval = evaluator_for(
-        circuit, baselines::greedy_placement(circuit, layout, rng), &goals);
-    report("greedy initial", *greedy_eval);
-  }
+  const solver::Solver solver;
 
-  // Sequential tabu search from the random start.
-  tabu::TabuParams params;
-  params.iterations =
-      static_cast<std::size_t>(cli.get_int("iterations", 300));
-  tabu::TabuSearch search(*random_eval, params, Rng(11));
-  const auto result = search.run();
-  report("after tabu search", *random_eval);
+  // Two constructive starting points under one goal calibration: the
+  // "constructive" engine reports the same-seed random placement as
+  // initial_cost and the greedy construction as its best.
+  const auto greedy =
+      solver.solve(experiments::base_spec(circuit, "constructive", seed));
+  std::printf("%-18s cost=%.4f\n", "random initial", greedy.initial_cost);
+  report("greedy initial", greedy);
+
+  // Sequential tabu search from the same-seed random start.
+  auto spec = experiments::base_spec(circuit, "tabu", seed);
+  spec.tabu.iterations = iterations;
+  const auto result = solver.solve(spec);
+  report("after tabu search", result);
   std::printf("search: %zu iterations, %zu accepted, %zu tabu-rejected, "
               "%zu aspirated, %zu early-accepts\n",
               result.stats.iterations, result.stats.accepted,
               result.stats.rejected_tabu, result.stats.aspirated,
               result.stats.early_accepts);
 
-  // Exact STA cross-check of the incremental delay estimate.
+  // Rebuild the final placement for the exact STA cross-check of the
+  // incremental delay estimate.
+  placement::Placement placed(circuit, layout);
+  placed.assign_slots(result.best_slots);
+  const placement::HpwlState hpwl(placed);
   const timing::DelayModel model;
-  const auto sta = timing::run_sta(circuit, random_eval->hpwl(), model);
+  const auto sta = timing::run_sta(circuit, hpwl, model);
   std::printf("exact STA critical delay: %.3f (monitored-paths estimate %.3f, "
               "%.1f%% coverage)\n",
-              sta.critical_delay, random_eval->objectives().delay,
-              100.0 * random_eval->objectives().delay / sta.critical_delay);
+              sta.critical_delay, result.best_objectives.delay,
+              100.0 * result.best_objectives.delay / sta.critical_delay);
   std::printf("critical path length: %zu cells\n", sta.critical_path.size());
 
-  if (cli.has("save")) {
-    const std::string path = cli.get("save", "circuit.net");
-    netlist::save_netlist_file(circuit, path);
-    std::printf("netlist written to %s\n", path.c_str());
+  if (want_save) {
+    netlist::save_netlist_file(circuit, save_path);
+    std::printf("netlist written to %s\n", save_path.c_str());
   }
 
-  if (cli.has("svg")) {
+  if (want_svg) {
     // Render the final placement with cells shaded by timing criticality
     // of their most critical incident net.
-    const std::string path = cli.get("svg", "placement.svg");
-    const auto slack =
-        timing::analyze_slack(circuit, random_eval->hpwl(), model);
+    const auto slack = timing::analyze_slack(circuit, hpwl, model);
     placement::SvgOptions options;
     options.title = circuit.name() + " after tabu search";
     options.cell_intensity.assign(circuit.num_cells(), 0.0);
     for (netlist::CellId cell : circuit.movable_cells()) {
       for (netlist::NetId net : circuit.nets_of(cell)) {
-        options.cell_intensity[cell] = std::max(
-            options.cell_intensity[cell], slack.net_criticality[net]);
+        options.cell_intensity[cell] = std::max(options.cell_intensity[cell],
+                                                slack.net_criticality[net]);
       }
     }
-    placement::save_svg(random_eval->placement(), random_eval->hpwl(), path,
-                        options);
-    std::printf("placement rendered to %s\n", path.c_str());
+    placement::save_svg(placed, hpwl, svg_path, options);
+    std::printf("placement rendered to %s\n", svg_path.c_str());
   }
   return 0;
 }

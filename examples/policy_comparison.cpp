@@ -4,23 +4,35 @@
 // "wait for everyone" across increasingly skewed clusters, printing the
 // makespan/quality tradeoff — a generalization of the paper's fixed
 // half rule (§4.2) useful for choosing a policy for a given cluster.
-//
-// Usage: policy_comparison [--circuit c532]
+// Every run goes through the pts::solver front door ("parallel-sim").
 #include <cstdio>
 
 #include "experiments/workloads.hpp"
+#include "solver/solver.hpp"
 #include "support/cli.hpp"
 #include "support/log.hpp"
-#include "parallel/pts.hpp"
 #include "support/table.hpp"
+
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: policy_comparison [--circuit c532] [--help]\n";
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace pts;
   const Cli cli(argc, argv);
   set_log_level(LogLevel::Warn);
+  if (cli.get_flag("help")) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
 
   const std::string name = cli.get("circuit", "c532");
+  cli.reject_unused(kUsage);
   const auto& circuit = experiments::circuit(name);
+  const solver::Solver solver;
 
   struct ClusterCase {
     const char* label;
@@ -40,17 +52,18 @@ int main(int argc, char** argv) {
   for (const auto& cluster_case : clusters) {
     Table table({"policy", "makespan", "best cost", "quality"});
     for (double threshold : {0.25, 0.5, 0.75, 1.0}) {
-      auto config = experiments::base_config(circuit, 9, /*quick=*/true);
-      config.num_tsws = 4;
-      config.clws_per_tsw = 4;
-      config.cluster = cluster_case.cluster;
+      auto spec = experiments::base_spec(circuit, "parallel-sim", 9,
+                                         /*quick=*/true);
+      spec.parallel.num_tsws = 4;
+      spec.parallel.clws_per_tsw = 4;
+      spec.parallel.cluster = cluster_case.cluster;
       if (threshold >= 1.0) {
-        config.set_policy(parallel::CollectionPolicy::WaitAll);
+        spec.parallel.set_policy(parallel::CollectionPolicy::WaitAll);
       } else {
-        config.set_policy(parallel::CollectionPolicy::HalfForce, threshold);
+        spec.parallel.set_policy(parallel::CollectionPolicy::HalfForce,
+                                 threshold);
       }
-      const auto result =
-          parallel::ParallelTabuSearch(circuit, config).run_sim();
+      const auto result = solver.solve(spec);
       table.add_row({threshold >= 1.0 ? "wait-all"
                                       : "force@" + Table::fmt(threshold, 2),
                      Table::fmt(result.makespan, 1),

@@ -2,11 +2,13 @@
 
 #include <cmath>
 
+#include "support/stopwatch.hpp"
 #include "tabu/candidate.hpp"
 
 namespace pts::baselines {
 
-AnnealResult anneal(cost::Evaluator& eval, const AnnealParams& params, Rng& rng) {
+AnnealResult anneal(cost::Evaluator& eval, const AnnealParams& params, Rng& rng,
+                    const RunControl& control) {
   const auto& netlist = eval.placement().netlist();
   const tabu::CellRange range = tabu::full_range(netlist);
   const std::size_t moves_per_temp =
@@ -38,9 +40,19 @@ AnnealResult anneal(cost::Evaluator& eval, const AnnealParams& params, Rng& rng)
   result.best_slots = eval.placement().slots();
   result.best_quality = eval.quality();
 
+  const Stopwatch watch;
   std::size_t temp_step = 0;
-  while (temperature > final_temperature) {
+  bool stopped = false;
+  while (!stopped && temperature > final_temperature) {
     for (std::size_t i = 0; i < moves_per_temp; ++i) {
+      if (const auto reason = control.should_stop(
+              result.moves_tried,
+              control.needs_clock() ? watch.seconds() : 0.0, result.best_cost,
+              result.best_quality)) {
+        result.stop_reason = *reason;
+        stopped = true;
+        break;
+      }
       const auto move = tabu::sample_move(netlist, range, rng);
       const double after = eval.probe_swap(move.a, move.b);
       ++result.moves_tried;
@@ -54,11 +66,20 @@ AnnealResult anneal(cost::Evaluator& eval, const AnnealParams& params, Rng& rng)
           result.best_cost = current;
           result.best_slots = eval.placement().slots();
           result.best_quality = eval.quality();
+          if (control.observer != nullptr) {
+            control.notify_improvement({result.moves_tried, watch.seconds(),
+                                        current, result.best_cost});
+          }
         }
       }
     }
+    if (stopped) break;
     if (params.trace_stride != 0 && temp_step % params.trace_stride == 0) {
       result.best_trace.add(static_cast<double>(temp_step), result.best_cost);
+    }
+    if (control.observer != nullptr) {
+      control.notify_iteration(
+          {result.moves_tried, watch.seconds(), current, result.best_cost});
     }
     temperature *= params.cooling;
     ++temp_step;

@@ -9,6 +9,7 @@
 
 #include "cost/evaluator.hpp"
 #include "support/rng.hpp"
+#include "support/run_control.hpp"
 #include "support/stats.hpp"
 
 namespace pts::baselines {
@@ -30,9 +31,17 @@ struct AnnealResult {
   Series best_trace;  ///< best cost per temperature step
   std::size_t moves_tried = 0;
   std::size_t moves_accepted = 0;
+  /// Completed unless a caller-supplied stop condition fired first.
+  StopReason stop_reason = StopReason::Completed;
 };
 
-/// Runs SA on the evaluator's current solution (mutates it).
-AnnealResult anneal(cost::Evaluator& eval, const AnnealParams& params, Rng& rng);
+/// Runs SA on the evaluator's current solution (mutates it). Stop
+/// conditions are checked before every move (`max_iterations` caps
+/// `moves_tried`); the observer sees improvements per accepted new best
+/// and iterations per temperature step. Checks and callbacks are
+/// read-only: a run whose conditions never fire is bit-identical to an
+/// uncontrolled one.
+AnnealResult anneal(cost::Evaluator& eval, const AnnealParams& params, Rng& rng,
+                    const RunControl& control = {});
 
 }  // namespace pts::baselines

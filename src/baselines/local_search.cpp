@@ -1,11 +1,13 @@
 #include "baselines/local_search.hpp"
 
+#include "support/stopwatch.hpp"
 #include "tabu/candidate.hpp"
 
 namespace pts::baselines {
 
 LocalSearchResult local_search(cost::Evaluator& eval,
-                               const LocalSearchParams& params, Rng& rng) {
+                               const LocalSearchParams& params, Rng& rng,
+                               const RunControl& control) {
   PTS_CHECK(params.candidates_per_iteration >= 1);
   const auto& netlist = eval.placement().netlist();
   const tabu::CellRange range = tabu::full_range(netlist);
@@ -17,8 +19,15 @@ LocalSearchResult local_search(cost::Evaluator& eval,
   result.best_quality = eval.quality();
   result.best_slots = eval.placement().slots();
 
+  const Stopwatch watch;
   std::size_t stale = 0;
   for (std::size_t iter = 0; iter < params.max_iterations; ++iter) {
+    if (const auto reason = control.should_stop(
+            iter, control.needs_clock() ? watch.seconds() : 0.0,
+            result.best_cost, result.best_quality)) {
+      result.stop_reason = *reason;
+      break;
+    }
     ++result.iterations;
     tabu::Move best{};
     double best_cost = current;
@@ -39,6 +48,10 @@ LocalSearchResult local_search(cost::Evaluator& eval,
         result.best_cost = current;
         result.best_quality = eval.quality();
         result.best_slots = eval.placement().slots();
+        if (control.observer != nullptr) {
+          control.notify_improvement(
+              {iter + 1, watch.seconds(), current, result.best_cost});
+        }
       }
     } else if (++stale >= params.patience) {
       result.converged = true;
@@ -46,6 +59,10 @@ LocalSearchResult local_search(cost::Evaluator& eval,
     }
     if (params.trace_stride != 0 && iter % params.trace_stride == 0) {
       result.best_trace.add(static_cast<double>(iter), result.best_cost);
+    }
+    if (control.observer != nullptr) {
+      control.notify_iteration(
+          {iter + 1, watch.seconds(), current, result.best_cost});
     }
   }
   return result;

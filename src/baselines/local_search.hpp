@@ -8,6 +8,7 @@
 
 #include "cost/evaluator.hpp"
 #include "support/rng.hpp"
+#include "support/run_control.hpp"
 #include "support/stats.hpp"
 
 namespace pts::baselines {
@@ -26,9 +27,16 @@ struct LocalSearchResult {
   Series best_trace;
   std::size_t iterations = 0;
   bool converged = false;  ///< stopped by patience, not by max_iterations
+  /// Completed unless a caller-supplied stop condition fired first.
+  StopReason stop_reason = StopReason::Completed;
 };
 
+/// Stop conditions are checked before every iteration; the observer sees
+/// improvements and per-iteration progress. Checks and callbacks are
+/// read-only: a run whose conditions never fire is bit-identical to an
+/// uncontrolled one.
 LocalSearchResult local_search(cost::Evaluator& eval,
-                               const LocalSearchParams& params, Rng& rng);
+                               const LocalSearchParams& params, Rng& rng,
+                               const RunControl& control = {});
 
 }  // namespace pts::baselines

@@ -48,13 +48,32 @@ parallel::PtsConfig base_config(const netlist::Netlist& netlist,
   return config;
 }
 
-parallel::PtsResult run_sim(const netlist::Netlist& netlist,
-                            const parallel::PtsConfig& config) {
-  parallel::ParallelTabuSearch search(netlist, config);
-  return search.run_sim();
+solver::SolveSpec base_spec(const netlist::Netlist& netlist,
+                            std::string_view engine, std::uint64_t seed,
+                            bool quick) {
+  solver::SolveSpec spec;
+  spec.engine = std::string(engine);
+  spec.netlist = &netlist;
+  spec.parallel = base_config(netlist, seed, quick);
+  spec.seed = spec.parallel.seed;
+  spec.cost = spec.parallel.cost;
+  spec.tabu = spec.parallel.tabu;
+  return spec;
 }
 
-double improvement_threshold(const parallel::PtsResult& baseline,
+solver::SolveResult run_sim(const netlist::Netlist& netlist,
+                            const parallel::PtsConfig& config) {
+  solver::SolveSpec spec;
+  spec.engine = "parallel-sim";
+  spec.netlist = &netlist;
+  spec.seed = config.seed;
+  spec.cost = config.cost;
+  spec.tabu = config.tabu;
+  spec.parallel = config;
+  return solver::Solver().solve(spec);
+}
+
+double improvement_threshold(const solver::SolveResult& baseline,
                              double fraction) {
   PTS_CHECK(fraction > 0.0 && fraction <= 1.0);
   return baseline.initial_cost -

@@ -6,6 +6,10 @@
 // fixed "algorithm parameters" were. `quick` shrinks budgets (used by the
 // default bench invocation so the full suite stays in CI-friendly time;
 // pass --full to the bench binaries for larger runs).
+//
+// All runs go through the pts::solver::Solver front door (run_sim,
+// base_spec); base_config survives for callers that tune the raw parallel
+// knobs before building a spec from them.
 #pragma once
 
 #include <string>
@@ -13,7 +17,8 @@
 #include <vector>
 
 #include "netlist/benchmarks.hpp"
-#include "parallel/pts.hpp"
+#include "parallel/config.hpp"
+#include "solver/solver.hpp"
 
 namespace pts::experiments {
 
@@ -29,12 +34,21 @@ std::vector<std::string> circuit_names();
 parallel::PtsConfig base_config(const netlist::Netlist& netlist,
                                 std::uint64_t seed = 1, bool quick = true);
 
-/// Runs the sim engine once.
-parallel::PtsResult run_sim(const netlist::Netlist& netlist,
+/// A validated front-door spec built from base_config: the shared
+/// seed/cost/tabu blocks are lifted out of the parallel config so the same
+/// spec runs any registered engine.
+solver::SolveSpec base_spec(const netlist::Netlist& netlist,
+                            std::string_view engine, std::uint64_t seed = 1,
+                            bool quick = true);
+
+/// Runs the "parallel-sim" engine once through the Solver front door;
+/// bit-identical to a direct SimEngine run of `config`.
+solver::SolveResult run_sim(const netlist::Netlist& netlist,
                             const parallel::PtsConfig& config);
 
 /// Quality threshold "x" for speedup measurements: the cost after
 /// `fraction` of the baseline run's total improvement.
-double improvement_threshold(const parallel::PtsResult& baseline, double fraction);
+double improvement_threshold(const solver::SolveResult& baseline,
+                             double fraction);
 
 }  // namespace pts::experiments

@@ -8,6 +8,7 @@
 #include "cost/evaluator.hpp"
 #include "parallel/policy.hpp"
 #include "pvm/machine.hpp"
+#include "support/run_control.hpp"
 #include "support/stats.hpp"
 #include "tabu/search.hpp"
 
@@ -95,6 +96,9 @@ struct PtsResult {
   Series best_vs_global;
   /// Aggregated TSW statistics.
   tabu::SearchStats stats;
+  /// Completed unless a caller-supplied stop condition fired first (stop
+  /// checks run at global-iteration granularity in both engines).
+  StopReason stop_reason = StopReason::Completed;
 
   /// First time the global best reached `cost_threshold` (-1 if never);
   /// the paper's speedup uses t(1, x) / t(n, x) on this quantity.

@@ -1,20 +1,20 @@
-// Public entry point: parallel tabu search for VLSI cell placement.
+// DEPRECATED entry point — use pts::solver::Solver instead.
 //
-// Quickstart:
+// This shim predates the unified front door (src/solver/). New code should
+// run the parallel engines through the registry:
 //
-//   auto circuit = pts::netlist::make_benchmark("c532");
-//   pts::parallel::PtsConfig config;
-//   config.num_tsws = 4;
-//   config.clws_per_tsw = 4;
-//   config.set_policy(pts::parallel::CollectionPolicy::HalfForce);
-//   pts::parallel::ParallelTabuSearch search(circuit, config);
-//   auto result = search.run_sim();        // deterministic virtual time
-//   // or: auto result = search.run_threaded();  // real threads
+//   pts::solver::SolveSpec spec;
+//   spec.engine = "parallel-sim";          // or "parallel-threaded"
+//   spec.netlist = &circuit;
+//   spec.seed = 7;
+//   spec.parallel.num_tsws = 4;            // remaining PtsConfig knobs
+//   auto result = pts::solver::Solver().solve(spec);
 //
-// run_sim() executes the search under the discrete-event virtual-time
-// engine (deterministic; the engine behind the paper-figure benches);
-// run_threaded() executes the identical algorithm on the PVM-like threaded
-// runtime. Both return a PtsResult.
+// which adds spec validation, stop conditions, and progress observers on
+// top of the exact same engines (same-seed results are bit-identical).
+// The shim is kept source-compatible for downstream callers; it forwards
+// to SimEngine / ThreadedEngine unchanged and will be removed once
+// nothing links against it.
 #pragma once
 
 #include "parallel/config.hpp"
@@ -23,7 +23,9 @@
 
 namespace pts::parallel {
 
-class ParallelTabuSearch {
+class [[deprecated(
+    "use pts::solver::Solver with engine \"parallel-sim\" or "
+    "\"parallel-threaded\" (see solver/solver.hpp)")]] ParallelTabuSearch {
  public:
   /// `netlist` must outlive the search and its results.
   ParallelTabuSearch(const netlist::Netlist& netlist, PtsConfig config)

@@ -149,7 +149,9 @@ void SimEngine::run_local_iteration(SimTsw& tsw) {
   tsw.state->end_local_iteration(tsw.clock);
 }
 
-PtsResult SimEngine::run() {
+PtsResult SimEngine::run() { return run(RunControl{}); }
+
+PtsResult SimEngine::run(const RunControl& control) {
   const auto& cfg = setup_.config;
   const SimCosts& costs = cfg.sim;
   const pvm::MachineProfile& master_machine = cfg.cluster.machine_for_task(0);
@@ -165,8 +167,25 @@ PtsResult SimEngine::run() {
   std::vector<tabu::Move> global_best_tabu;
   result.best_vs_time.add(0.0, global_best_cost);
 
+  // Stop checks run at global-iteration granularity against the virtual
+  // clock, so time limits are deterministic. Quality is only materialized
+  // (one evaluator build) when a quality target is actually set.
+  const auto stop_check = [&](std::size_t iterations_done,
+                              double now) -> std::optional<StopReason> {
+    if (!control.stop.engaged()) return std::nullopt;
+    double best_quality = 0.0;
+    if (control.stop.target_quality.has_value()) {
+      best_quality = setup_.make_evaluator(global_best_slots)->quality();
+    }
+    return control.should_stop(iterations_done, now, global_best_cost,
+                               best_quality);
+  };
+  if (const auto reason = stop_check(0, 0.0)) result.stop_reason = *reason;
+
   double broadcast_time = costs.message_latency;  // Init hop to the TSWs
-  for (std::size_t g = 0; g < cfg.global_iterations; ++g) {
+  for (std::size_t g = 0; result.stop_reason == StopReason::Completed &&
+                          g < cfg.global_iterations;
+       ++g) {
     // -- TSW phase (independent virtual timelines) ------------------------
     for (SimTsw& tsw : tsws_) {
       tsw.clock = broadcast_time;
@@ -247,6 +266,7 @@ PtsResult SimEngine::run() {
     for (const auto& [time, cost] : events) {
       if (cost < result.best_vs_time.y.back()) {
         result.best_vs_time.add(time, cost);
+        control.notify_improvement({g + 1, time, cost, cost});
       }
     }
 
@@ -259,6 +279,16 @@ PtsResult SimEngine::run() {
     result.best_vs_global.add(static_cast<double>(g), global_best_cost);
     broadcast_time = collect_end + costs.message_latency;
     result.makespan = collect_end;
+    control.notify_iteration(
+        {g + 1, collect_end, global_best_cost, global_best_cost});
+    // No check after the final iteration: a run that did all its own work
+    // reports Completed, matching the sequential engines' check-before
+    // semantics (an external budget equal to the engine's own is a no-op).
+    if (g + 1 < cfg.global_iterations) {
+      if (const auto reason = stop_check(g + 1, collect_end)) {
+        result.stop_reason = *reason;
+      }
+    }
   }
 
   // -- final result -------------------------------------------------------

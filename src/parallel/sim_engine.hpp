@@ -42,6 +42,14 @@ class SimEngine {
   /// Runs the full search and returns the result with virtual-time series.
   PtsResult run();
 
+  /// Like run(), but honors caller stop conditions — checked before the
+  /// run and after every non-final global iteration against the *virtual*
+  /// clock, so time limits are deterministic — and streams progress
+  /// (virtual-time improvements, per-global-iteration ticks) to the
+  /// observer. Checks and callbacks are read-only: a run whose conditions
+  /// never fire is bit-identical to run().
+  PtsResult run(const RunControl& control);
+
  private:
   struct ClwSlot {
     ClwSearch search;

@@ -225,7 +225,9 @@ ThreadedEngine::ThreadedEngine(const netlist::Netlist& netlist,
                                const PtsConfig& config)
     : setup_(netlist, config) {}
 
-PtsResult ThreadedEngine::run() {
+PtsResult ThreadedEngine::run() { return run(RunControl{}); }
+
+PtsResult ThreadedEngine::run(const RunControl& control) {
   const auto& cfg = setup_.config;
   pvm::VirtualMachine vm(cfg.cluster, cfg.seed,
                          cfg.threaded_seconds_per_unit);
@@ -288,11 +290,34 @@ PtsResult ThreadedEngine::run() {
       global_best_cost = winner->best_cost;
       global_best_slots = winner->best_slots;
       global_best_tabu = winner->tabu_entries;
+      control.notify_improvement(
+          {g + 1, watch.seconds(), global_best_cost, global_best_cost});
     }
     result.best_vs_time.add(watch.seconds(), global_best_cost);
     result.best_vs_global.add(static_cast<double>(g), global_best_cost);
+    control.notify_iteration(
+        {g + 1, watch.seconds(), global_best_cost, global_best_cost});
 
-    if (g + 1 < cfg.global_iterations) {
+    // Stop checks run on the master at global-iteration granularity
+    // against wall time; a fired condition terminates the TSWs in place of
+    // the next broadcast. No check after the final iteration (a run that
+    // did all its own work reports Completed). Quality is only
+    // materialized (one evaluator build) when a quality target is set.
+    bool stop_now = false;
+    if (g + 1 < cfg.global_iterations && control.stop.engaged()) {
+      double best_quality = 0.0;
+      if (control.stop.target_quality.has_value()) {
+        best_quality = setup_.make_evaluator(global_best_slots)->quality();
+      }
+      if (const auto reason = control.should_stop(g + 1, watch.seconds(),
+                                                  global_best_cost,
+                                                  best_quality)) {
+        result.stop_reason = *reason;
+        stop_now = true;
+      }
+    }
+
+    if (!stop_now && g + 1 < cfg.global_iterations) {
       Broadcast bc;
       bc.global_seq = g;
       bc.best_cost = global_best_cost;
@@ -301,6 +326,7 @@ PtsResult ThreadedEngine::run() {
       for (TaskId tsw : tsws) master.send(tsw, bc.encode());
     } else {
       final_reports = std::move(reports);
+      if (stop_now) break;
     }
   }
 

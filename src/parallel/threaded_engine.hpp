@@ -22,6 +22,14 @@ class ThreadedEngine {
 
   PtsResult run();
 
+  /// Like run(), but honors caller stop conditions — checked by the master
+  /// after every global iteration against wall time — and streams progress
+  /// to the observer (called from the master thread only). A stopped run
+  /// terminates the TSWs in place of the next broadcast. Checks and
+  /// callbacks are read-only: a run whose conditions never fire is
+  /// bit-identical to run().
+  PtsResult run(const RunControl& control);
+
  private:
   SearchSetup setup_;
 };

@@ -1,5 +1,6 @@
 #include "support/cli.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 
 namespace pts {
@@ -67,6 +68,17 @@ std::vector<std::string> Cli::unused() const {
     if (queried_.find(name) == queried_.end()) out.push_back(name);
   }
   return out;
+}
+
+void Cli::reject_unused(const std::string& usage) const {
+  const auto unknown = unused();
+  if (unknown.empty()) return;
+  for (const auto& name : unknown) {
+    std::fprintf(stderr, "%s: unknown option --%s\n", program_.c_str(),
+                 name.c_str());
+  }
+  std::fputs(usage.c_str(), stderr);
+  std::exit(2);
 }
 
 }  // namespace pts

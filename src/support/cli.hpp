@@ -29,6 +29,12 @@ class Cli {
   /// Options the binary did not query; useful for strict-mode validation.
   std::vector<std::string> unused() const;
 
+  /// Strict mode for example binaries: if any option was never queried,
+  /// prints the offenders plus `usage` to stderr and exits with status 2.
+  /// Call after the last get*()/has() query. Bench binaries skip this so
+  /// google-benchmark flags keep passing through untouched.
+  void reject_unused(const std::string& usage) const;
+
   const std::string& program() const { return program_; }
 
  private:

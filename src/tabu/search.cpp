@@ -1,5 +1,7 @@
 #include "tabu/search.hpp"
 
+#include "support/stopwatch.hpp"
+
 namespace pts::tabu {
 
 bool compound_is_tabu(const TabuList& list, const CompoundMove& move) {
@@ -60,16 +62,32 @@ bool TabuSearch::iterate(const CellRange& range) {
   return true;
 }
 
-SearchResult TabuSearch::run() {
+SearchResult TabuSearch::run() { return run(RunControl{}); }
+
+SearchResult TabuSearch::run(const RunControl& control) {
   const CellRange range = full_range(eval_->placement().netlist());
   SearchResult result;
   result.cost_trace.name = "cost";
   result.best_trace.name = "best";
+  const Stopwatch watch;
   for (std::size_t iter = 0; iter < params_.iterations; ++iter) {
+    if (const auto reason =
+            control.should_stop(iter, control.needs_clock() ? watch.seconds() : 0.0,
+                                best_cost_, best_quality_)) {
+      result.stop_reason = *reason;
+      break;
+    }
+    const double prev_best = best_cost_;
     iterate(range);
     if (params_.trace_stride != 0 && iter % params_.trace_stride == 0) {
       result.cost_trace.add(static_cast<double>(iter), eval_->cost());
       result.best_trace.add(static_cast<double>(iter), best_cost_);
+    }
+    if (control.observer != nullptr) {
+      const Progress progress{iter + 1, watch.seconds(), eval_->cost(),
+                              best_cost_};
+      if (best_cost_ < prev_best) control.notify_improvement(progress);
+      control.notify_iteration(progress);
     }
   }
   result.best_cost = best_cost_;

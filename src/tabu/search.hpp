@@ -16,6 +16,7 @@
 
 #include "cost/evaluator.hpp"
 #include "support/rng.hpp"
+#include "support/run_control.hpp"
 #include "support/stats.hpp"
 #include "tabu/compound.hpp"
 #include "tabu/diversify.hpp"
@@ -63,6 +64,8 @@ struct SearchResult {
   Series cost_trace;  ///< current cost per traced iteration
   Series best_trace;  ///< best cost per traced iteration
   SearchStats stats;
+  /// Completed unless a caller-supplied stop condition fired first.
+  StopReason stop_reason = StopReason::Completed;
 };
 
 /// True iff any constituent swap of `move` is tabu.
@@ -78,6 +81,12 @@ class TabuSearch {
 
   /// Runs `params.iterations` iterations over the full cell range.
   SearchResult run();
+
+  /// Like run(), but honors caller stop conditions (checked before every
+  /// iteration against wall time) and streams progress to the observer.
+  /// Checks and callbacks are read-only: a run whose conditions never fire
+  /// is bit-identical to run().
+  SearchResult run(const RunControl& control);
 
   /// One tabu iteration restricted to `range`; used by the parallel TSWs.
   /// Returns true if the compound move was accepted.

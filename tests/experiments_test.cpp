@@ -41,7 +41,7 @@ TEST(Workloads, QuickModeShrinksBudgets) {
 }
 
 TEST(Workloads, ImprovementThreshold) {
-  parallel::PtsResult r;
+  solver::SolveResult r;
   r.initial_cost = 1.0;
   r.best_cost = 0.5;
   EXPECT_NEAR(improvement_threshold(r, 1.0), 0.5, 1e-12);

@@ -10,7 +10,8 @@
 #include "experiments/speedup.hpp"
 #include "experiments/workloads.hpp"
 #include "netlist/io.hpp"
-#include "parallel/pts.hpp"
+#include "parallel/sim_engine.hpp"
+#include "parallel/threaded_engine.hpp"
 #include "tabu/search.hpp"
 #include "timing/sta.hpp"
 
@@ -29,7 +30,7 @@ TEST(Integration, FileRoundTripFeedsTheFullPipeline) {
   auto config = experiments::base_config(loaded, 3, /*quick=*/true);
   config.num_tsws = 2;
   config.clws_per_tsw = 2;
-  const auto result = parallel::ParallelTabuSearch(loaded, config).run_sim();
+  const auto result = parallel::SimEngine(loaded, config).run();
   EXPECT_LT(result.best_cost, result.initial_cost);
 }
 
@@ -42,7 +43,7 @@ TEST(Integration, SequentialVsParallelSameCostModel) {
   config.num_tsws = 1;
   config.clws_per_tsw = 1;
   const auto parallel_result =
-      parallel::ParallelTabuSearch(circuit, config).run_sim();
+      parallel::SimEngine(circuit, config).run();
   EXPECT_NEAR(parallel_result.initial_cost, 0.75, 1e-9);
   EXPECT_LT(parallel_result.best_cost, 0.70);
 }
@@ -52,7 +53,7 @@ TEST(Integration, FinalSolutionIsAValidPlacement) {
   auto config = experiments::base_config(circuit, 5, /*quick=*/true);
   config.num_tsws = 3;
   config.clws_per_tsw = 2;
-  const auto result = parallel::ParallelTabuSearch(circuit, config).run_sim();
+  const auto result = parallel::SimEngine(circuit, config).run();
 
   const placement::Layout layout(circuit);
   placement::Placement p(circuit, layout);
@@ -72,8 +73,8 @@ TEST(Integration, BothEnginesImproveTheSameWorkload) {
   auto config = experiments::base_config(circuit, 7, /*quick=*/true);
   config.num_tsws = 2;
   config.clws_per_tsw = 2;
-  const auto sim = parallel::ParallelTabuSearch(circuit, config).run_sim();
-  const auto threaded = parallel::ParallelTabuSearch(circuit, config).run_threaded();
+  const auto sim = parallel::SimEngine(circuit, config).run();
+  const auto threaded = parallel::ThreadedEngine(circuit, config).run();
   EXPECT_EQ(sim.initial_cost, threaded.initial_cost);
   EXPECT_LT(sim.best_cost, sim.initial_cost);
   EXPECT_LT(threaded.best_cost, threaded.initial_cost);
@@ -89,12 +90,12 @@ TEST(Integration, ParallelSearchBeatsSingleThreadAtEqualVirtualTime) {
   auto config = experiments::base_config(circuit, 11, /*quick=*/false);
   config.num_tsws = 4;
   config.clws_per_tsw = 2;
-  const auto par = parallel::ParallelTabuSearch(circuit, config).run_sim();
+  const auto par = parallel::SimEngine(circuit, config).run();
 
   auto solo_config = config;
   solo_config.num_tsws = 1;
   solo_config.clws_per_tsw = 1;
-  const auto solo = parallel::ParallelTabuSearch(circuit, solo_config).run_sim();
+  const auto solo = parallel::SimEngine(circuit, solo_config).run();
 
   const double solo_at_par_end = solo.best_vs_time.y_at(
       std::min(par.makespan, solo.best_vs_time.x.back()));
@@ -131,9 +132,9 @@ TEST(Integration, HalfForceTracksDominanceOverTime) {
   config.num_tsws = 4;
   config.clws_per_tsw = 4;
   config.set_policy(parallel::CollectionPolicy::HalfForce);
-  const auto het = parallel::ParallelTabuSearch(circuit, config).run_sim();
+  const auto het = parallel::SimEngine(circuit, config).run();
   config.set_policy(parallel::CollectionPolicy::WaitAll);
-  const auto hom = parallel::ParallelTabuSearch(circuit, config).run_sim();
+  const auto hom = parallel::SimEngine(circuit, config).run();
 
   EXPECT_LT(het.makespan, hom.makespan);
   const double hom_at_het_end = hom.best_vs_time.y_at(het.makespan);
@@ -160,7 +161,7 @@ TEST(Integration, TwelveMachineTwentyOneTaskPaperShape) {
   config.num_tsws = 4;
   config.clws_per_tsw = 4;
   EXPECT_EQ(config.cluster.size(), 12u);
-  const auto result = parallel::ParallelTabuSearch(circuit, config).run_sim();
+  const auto result = parallel::SimEngine(circuit, config).run();
   EXPECT_LT(result.best_cost, result.initial_cost);
   EXPECT_GT(result.stats.accepted, 0u);
 }

@@ -4,7 +4,7 @@
 
 #include "experiments/workloads.hpp"
 #include "netlist/generator.hpp"
-#include "parallel/pts.hpp"
+#include "parallel/sim_engine.hpp"
 
 namespace pts::parallel {
 namespace {
@@ -37,8 +37,8 @@ PtsConfig small_config(std::uint64_t seed = 1) {
 TEST(SimEngine, DeterministicAcrossRuns) {
   const Netlist nl = circuit();
   const PtsConfig config = small_config(11);
-  const PtsResult a = ParallelTabuSearch(nl, config).run_sim();
-  const PtsResult b = ParallelTabuSearch(nl, config).run_sim();
+  const PtsResult a = SimEngine(nl, config).run();
+  const PtsResult b = SimEngine(nl, config).run();
   EXPECT_EQ(a.best_cost, b.best_cost);
   EXPECT_EQ(a.best_slots, b.best_slots);
   EXPECT_EQ(a.makespan, b.makespan);
@@ -51,14 +51,14 @@ TEST(SimEngine, DeterministicAcrossRuns) {
 
 TEST(SimEngine, DifferentSeedsDifferentSearches) {
   const Netlist nl = circuit();
-  const PtsResult a = ParallelTabuSearch(nl, small_config(1)).run_sim();
-  const PtsResult b = ParallelTabuSearch(nl, small_config(2)).run_sim();
+  const PtsResult a = SimEngine(nl, small_config(1)).run();
+  const PtsResult b = SimEngine(nl, small_config(2)).run();
   EXPECT_NE(a.best_slots, b.best_slots);
 }
 
 TEST(SimEngine, ImprovesOnInitialCost) {
   const Netlist nl = circuit();
-  const PtsResult r = ParallelTabuSearch(nl, small_config()).run_sim();
+  const PtsResult r = SimEngine(nl, small_config()).run();
   EXPECT_LT(r.best_cost, r.initial_cost);
   EXPECT_GT(r.best_quality, 0.0);
   EXPECT_GT(r.makespan, 0.0);
@@ -66,7 +66,7 @@ TEST(SimEngine, ImprovesOnInitialCost) {
 
 TEST(SimEngine, TrajectoryIsMonotoneAndAnchored) {
   const Netlist nl = circuit();
-  const PtsResult r = ParallelTabuSearch(nl, small_config()).run_sim();
+  const PtsResult r = SimEngine(nl, small_config()).run();
   ASSERT_GE(r.best_vs_time.size(), 2u);
   EXPECT_EQ(r.best_vs_time.x[0], 0.0);
   EXPECT_EQ(r.best_vs_time.y[0], r.initial_cost);
@@ -85,7 +85,7 @@ TEST(SimEngine, TrajectoryIsMonotoneAndAnchored) {
 TEST(SimEngine, BestSlotsReproduceBestCost) {
   const Netlist nl = circuit();
   const PtsConfig config = small_config(21);
-  const PtsResult r = ParallelTabuSearch(nl, config).run_sim();
+  const PtsResult r = SimEngine(nl, config).run();
   // Independent evaluation of the returned slots.
   SearchSetup setup(nl, config);
   auto eval = setup.make_evaluator(r.best_slots);
@@ -100,8 +100,8 @@ TEST(SimEngine, HalfForceNeverSlowerThanWaitAll) {
   het.set_policy(CollectionPolicy::HalfForce);
   PtsConfig hom = het;
   hom.set_policy(CollectionPolicy::WaitAll);
-  const PtsResult r_het = ParallelTabuSearch(nl, het).run_sim();
-  const PtsResult r_hom = ParallelTabuSearch(nl, hom).run_sim();
+  const PtsResult r_het = SimEngine(nl, het).run();
+  const PtsResult r_hom = SimEngine(nl, hom).run();
   EXPECT_LT(r_het.makespan, r_hom.makespan);
   // Both improve on the initial solution.
   EXPECT_LT(r_het.best_cost, r_het.initial_cost);
@@ -116,18 +116,18 @@ TEST(SimEngine, HalfForceGainGrowsWithClusterSkew) {
 
   config.cluster = pvm::ClusterConfig::three_class(4, 4, 4, 1.0, 0.9, 0.8, 0.0);
   const double mild_gap = [&] {
-    const double hom = ParallelTabuSearch(nl, config).run_sim().makespan;
+    const double hom = SimEngine(nl, config).run().makespan;
     PtsConfig het = config;
     het.set_policy(CollectionPolicy::HalfForce);
-    return hom / ParallelTabuSearch(nl, het).run_sim().makespan;
+    return hom / SimEngine(nl, het).run().makespan;
   }();
 
   config.cluster = pvm::ClusterConfig::three_class(4, 4, 4, 1.0, 0.5, 0.2, 0.0);
   const double skewed_gap = [&] {
-    const double hom = ParallelTabuSearch(nl, config).run_sim().makespan;
+    const double hom = SimEngine(nl, config).run().makespan;
     PtsConfig het = config;
     het.set_policy(CollectionPolicy::HalfForce);
-    return hom / ParallelTabuSearch(nl, het).run_sim().makespan;
+    return hom / SimEngine(nl, het).run().makespan;
   }();
 
   EXPECT_GT(skewed_gap, mild_gap);
@@ -139,7 +139,7 @@ TEST(SimEngine, SingleWorkerDegeneratesToSequential) {
   PtsConfig config = small_config();
   config.num_tsws = 1;
   config.clws_per_tsw = 1;
-  const PtsResult r = ParallelTabuSearch(nl, config).run_sim();
+  const PtsResult r = SimEngine(nl, config).run();
   EXPECT_LT(r.best_cost, r.initial_cost);
   EXPECT_EQ(r.stats.iterations,
             config.local_iterations * config.global_iterations);
@@ -151,8 +151,8 @@ TEST(SimEngine, MoreLocalIterationsDoMoreWork) {
   short_run.local_iterations = 2;
   PtsConfig long_run = short_run;
   long_run.local_iterations = 10;
-  const PtsResult a = ParallelTabuSearch(nl, short_run).run_sim();
-  const PtsResult b = ParallelTabuSearch(nl, long_run).run_sim();
+  const PtsResult a = SimEngine(nl, short_run).run();
+  const PtsResult b = SimEngine(nl, long_run).run();
   EXPECT_GT(b.stats.iterations, a.stats.iterations);
   EXPECT_GT(b.makespan, a.makespan);
   EXPECT_LE(b.best_cost, a.best_cost + 0.05);  // more work, no regression
@@ -163,15 +163,15 @@ TEST(SimEngine, DiversificationChangesSearchOutcome) {
   PtsConfig with = small_config(13);
   PtsConfig without = with;
   without.diversify.enabled = false;
-  const PtsResult a = ParallelTabuSearch(nl, with).run_sim();
-  const PtsResult b = ParallelTabuSearch(nl, without).run_sim();
+  const PtsResult a = SimEngine(nl, with).run();
+  const PtsResult b = SimEngine(nl, without).run();
   EXPECT_NE(a.best_slots, b.best_slots);
 }
 
 TEST(SimEngine, StatsAddUpAcrossTsws) {
   const Netlist nl = circuit(40, 5);
   const PtsConfig config = small_config(2);
-  const PtsResult r = ParallelTabuSearch(nl, config).run_sim();
+  const PtsResult r = SimEngine(nl, config).run();
   // Iterations counted = TSWs * global * local (no master force cuts in
   // the virtual-time engine's TSW loop — cuts truncate reports, not work).
   EXPECT_EQ(r.stats.iterations,
@@ -184,7 +184,7 @@ TEST(SimEngine, StatsAddUpAcrossTsws) {
 
 TEST(SimEngine, TimeToCostFindsThreshold) {
   const Netlist nl = circuit(56, 8);
-  const PtsResult r = ParallelTabuSearch(nl, small_config(4)).run_sim();
+  const PtsResult r = SimEngine(nl, small_config(4)).run();
   const double mid = (r.initial_cost + r.best_cost) / 2.0;
   const double t = r.time_to_cost(mid);
   EXPECT_GT(t, 0.0);

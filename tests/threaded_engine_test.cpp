@@ -3,7 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "netlist/generator.hpp"
-#include "parallel/pts.hpp"
+#include "parallel/sim_engine.hpp"
+#include "parallel/threaded_engine.hpp"
 
 namespace pts::parallel {
 namespace {
@@ -33,7 +34,7 @@ PtsConfig small_config(std::uint64_t seed = 1) {
 
 TEST(ThreadedEngine, RunsToCompletionAndImproves) {
   const Netlist nl = circuit();
-  const PtsResult r = ParallelTabuSearch(nl, small_config()).run_threaded();
+  const PtsResult r = ThreadedEngine(nl, small_config()).run();
   EXPECT_LT(r.best_cost, r.initial_cost);
   EXPECT_EQ(r.best_slots.size(), nl.num_movable());
   EXPECT_GE(r.makespan, 0.0);
@@ -43,7 +44,7 @@ TEST(ThreadedEngine, RunsToCompletionAndImproves) {
 TEST(ThreadedEngine, BestSlotsReproduceBestCost) {
   const Netlist nl = circuit(30, 9);
   const PtsConfig config = small_config(5);
-  const PtsResult r = ParallelTabuSearch(nl, config).run_threaded();
+  const PtsResult r = ThreadedEngine(nl, config).run();
   SearchSetup setup(nl, config);
   auto eval = setup.make_evaluator(r.best_slots);
   EXPECT_NEAR(eval->cost(), r.best_cost, 1e-6);
@@ -53,7 +54,7 @@ TEST(ThreadedEngine, WaitAllPolicyCompletes) {
   const Netlist nl = circuit(25, 2);
   PtsConfig config = small_config(7);
   config.set_policy(CollectionPolicy::WaitAll);
-  const PtsResult r = ParallelTabuSearch(nl, config).run_threaded();
+  const PtsResult r = ThreadedEngine(nl, config).run();
   EXPECT_LT(r.best_cost, r.initial_cost);
   // With WaitAll and no master cuts, every TSW runs every iteration.
   EXPECT_EQ(r.stats.iterations,
@@ -67,7 +68,7 @@ TEST(ThreadedEngine, HalfForcePolicyCompletes) {
   // Throttle so stragglers demonstrably lag and the force path triggers.
   config.cluster = pvm::ClusterConfig::three_class(3, 3, 3, 1.0, 0.4, 0.1, 0.0);
   config.threaded_seconds_per_unit = 2e-5;
-  const PtsResult r = ParallelTabuSearch(nl, config).run_threaded();
+  const PtsResult r = ThreadedEngine(nl, config).run();
   EXPECT_LT(r.best_cost, r.initial_cost);
   // Some iterations may have been cut short; never more than the budget.
   EXPECT_LE(r.stats.iterations,
@@ -80,7 +81,7 @@ TEST(ThreadedEngine, SingleTswSingleClw) {
   PtsConfig config = small_config(3);
   config.num_tsws = 1;
   config.clws_per_tsw = 1;
-  const PtsResult r = ParallelTabuSearch(nl, config).run_threaded();
+  const PtsResult r = ThreadedEngine(nl, config).run();
   EXPECT_LT(r.best_cost, r.initial_cost);
 }
 
@@ -90,7 +91,7 @@ TEST(ThreadedEngine, ManyWorkersStress) {
   config.num_tsws = 4;
   config.clws_per_tsw = 3;  // 1 + 4 + 12 = 17 tasks
   config.global_iterations = 2;
-  const PtsResult r = ParallelTabuSearch(nl, config).run_threaded();
+  const PtsResult r = ThreadedEngine(nl, config).run();
   EXPECT_LT(r.best_cost, r.initial_cost);
 }
 
@@ -100,14 +101,14 @@ TEST(ThreadedEngine, RepeatedRunsShutDownCleanly) {
   config.global_iterations = 2;
   config.local_iterations = 2;
   for (int i = 0; i < 5; ++i) {
-    const PtsResult r = ParallelTabuSearch(nl, config).run_threaded();
+    const PtsResult r = ThreadedEngine(nl, config).run();
     EXPECT_LE(r.best_cost, r.initial_cost);
   }
 }
 
 TEST(ThreadedEngine, TrajectoryAnchoredAtInitial) {
   const Netlist nl = circuit(30, 4);
-  const PtsResult r = ParallelTabuSearch(nl, small_config(6)).run_threaded();
+  const PtsResult r = ThreadedEngine(nl, small_config(6)).run();
   ASSERT_GE(r.best_vs_time.size(), 1u);
   EXPECT_EQ(r.best_vs_time.x[0], 0.0);
   EXPECT_EQ(r.best_vs_time.y[0], r.initial_cost);
@@ -123,8 +124,8 @@ TEST(ThreadedEngine, MatchesSimEngineOnBookkeeping) {
   const Netlist nl = circuit(32, 8);
   PtsConfig config = small_config(4);
   config.set_policy(CollectionPolicy::WaitAll);
-  const PtsResult threaded = ParallelTabuSearch(nl, config).run_threaded();
-  const PtsResult sim = ParallelTabuSearch(nl, config).run_sim();
+  const PtsResult threaded = ThreadedEngine(nl, config).run();
+  const PtsResult sim = SimEngine(nl, config).run();
   EXPECT_EQ(threaded.stats.iterations, sim.stats.iterations);
   EXPECT_EQ(threaded.initial_cost, sim.initial_cost);
   EXPECT_LT(threaded.best_cost, threaded.initial_cost);
