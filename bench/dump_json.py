@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Emit a compact perf-trail JSON from the micro_core smoke benches.
+
+Runs `micro_core --smoke --benchmark_format=json`, extracts the probe
+throughput benches (BM_ProbeCsr / BM_ProbeVecOfVec / BM_ProbeSwap /
+BM_ApplySwap) keyed by circuit, and writes a small JSON file with ns/op per
+bench plus the CSR-vs-vector-of-vectors speedup per circuit. CI runs this on
+every push and uploads the result as an artifact (BENCH_baseline.json), so
+future PRs have a trajectory of probe-throughput numbers to compare against;
+the checked-in bench/BENCH_baseline.json is the snapshot taken when the CSR
+topology landed.
+
+Usage:
+    bench/dump_json.py <path-to-micro_core> [-o BENCH_baseline.json]
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+TRACKED_PREFIXES = ("BM_ProbeCsr", "BM_ProbeVecOfVec", "BM_ProbeSwap",
+                    "BM_ApplySwap")
+
+
+def run_benches(binary):
+    cmd = [
+        binary,
+        "--smoke",
+        "--benchmark_format=json",
+        "--benchmark_filter=" + "|".join(TRACKED_PREFIXES),
+    ]
+    out = subprocess.run(cmd, check=True, capture_output=True, text=True)
+    return json.loads(out.stdout)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("binary", help="path to the micro_core binary")
+    parser.add_argument("-o", "--output", default="BENCH_baseline.json")
+    args = parser.parse_args()
+
+    raw = run_benches(args.binary)
+    benches = {}
+    for entry in raw.get("benchmarks", []):
+        name = entry["name"]  # e.g. BM_ProbeCsr/3
+        bench = name.split("/")[0]
+        if bench not in TRACKED_PREFIXES:
+            continue
+        label = entry.get("label") or name
+        circuit = label.split()[0]
+        benches.setdefault(bench, {})[circuit] = round(entry["real_time"], 2)
+
+    speedup = {}
+    csr = benches.get("BM_ProbeCsr", {})
+    vov = benches.get("BM_ProbeVecOfVec", {})
+    for circuit in sorted(set(csr) & set(vov)):
+        if csr[circuit] > 0:
+            speedup[circuit] = round(vov[circuit] / csr[circuit], 3)
+
+    result = {
+        "source": "micro_core --smoke (google-benchmark)",
+        "unit": "ns/op (real time)",
+        "context": raw.get("context", {}),
+        "benchmarks": benches,
+        "probe_speedup_csr_vs_vecofvec": speedup,
+    }
+    with open(args.output, "w") as f:
+        json.dump(result, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.output}: probe speedup per circuit {speedup}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,7 @@ namespace pts::baselines {
 AnnealResult anneal(cost::Evaluator& eval, const AnnealParams& params, Rng& rng,
                     const RunControl& control) {
   const auto& netlist = eval.placement().netlist();
+  const std::span<const netlist::CellId> movable = netlist.movable_cells();
   const tabu::CellRange range = tabu::full_range(netlist);
   const std::size_t moves_per_temp =
       params.moves_per_temp > 0 ? params.moves_per_temp
@@ -20,7 +21,7 @@ AnnealResult anneal(cost::Evaluator& eval, const AnnealParams& params, Rng& rng,
   double uphill_sum = 0.0;
   std::size_t uphill_count = 0;
   for (std::size_t i = 0; i < 64; ++i) {
-    const auto move = tabu::sample_move(netlist, range, rng);
+    const auto move = tabu::sample_move(movable, range, rng);
     const double before = eval.cost();
     const double after = eval.probe_swap(move.a, move.b);
     if (after > before) {
@@ -53,7 +54,7 @@ AnnealResult anneal(cost::Evaluator& eval, const AnnealParams& params, Rng& rng,
         stopped = true;
         break;
       }
-      const auto move = tabu::sample_move(netlist, range, rng);
+      const auto move = tabu::sample_move(movable, range, rng);
       const double after = eval.probe_swap(move.a, move.b);
       ++result.moves_tried;
       const double delta = after - current;

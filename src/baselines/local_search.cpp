@@ -10,6 +10,7 @@ LocalSearchResult local_search(cost::Evaluator& eval,
                                const RunControl& control) {
   PTS_CHECK(params.candidates_per_iteration >= 1);
   const auto& netlist = eval.placement().netlist();
+  const std::span<const netlist::CellId> movable = netlist.movable_cells();
   const tabu::CellRange range = tabu::full_range(netlist);
 
   LocalSearchResult result;
@@ -33,7 +34,7 @@ LocalSearchResult local_search(cost::Evaluator& eval,
     double best_cost = current;
     bool have = false;
     for (std::size_t c = 0; c < params.candidates_per_iteration; ++c) {
-      const auto move = tabu::sample_move(netlist, range, rng);
+      const auto move = tabu::sample_move(movable, range, rng);
       const double after = eval.probe_swap(move.a, move.b);
       if (after < best_cost) {
         best = move;

@@ -13,8 +13,15 @@ Evaluator::Evaluator(placement::Placement placement,
       goals_(goals),
       hpwl_(placement_),
       timer_(paths_, hpwl_, params.delay_model),
-      marker_(placement_.netlist().num_nets()) {
+      marker_(placement_.netlist().num_nets()),
+      topology_(&placement_.netlist().topology()) {
   PTS_CHECK(params_.rebuild_interval >= 1);
+  // Size every scratch buffer to its worst case up front so that neither
+  // probe_swap nor apply_swap/commit_probe allocates in steady state
+  // (asserted by topology_test's allocation-counting guard).
+  moved_scratch_.reserve(placement_.netlist().num_cells());
+  change_scratch_.reserve(placement_.netlist().num_nets());
+  box_scratch_.reserve(placement_.netlist().num_nets());
 }
 
 Objectives Evaluator::objectives() const {
@@ -31,8 +38,7 @@ double Evaluator::apply_swap(CellId a, CellId b) {
   placement_.swap_cells(a, b, &moved_scratch_);
 
   marker_.begin();
-  const auto& netlist = placement_.netlist();
-  for (CellId cell : moved_scratch_) marker_.add_nets_of(netlist, cell);
+  for (CellId cell : moved_scratch_) marker_.add_nets_of(*topology_, cell);
 
   change_scratch_.clear();
   hpwl_.update_nets(marker_.nets(), &change_scratch_);
@@ -54,8 +60,7 @@ double Evaluator::probe_swap(CellId a, CellId b) {
   placement_.swap_cells(a, b, &moved_scratch_);
 
   marker_.begin();
-  const auto& netlist = placement_.netlist();
-  for (CellId cell : moved_scratch_) marker_.add_nets_of(netlist, cell);
+  for (CellId cell : moved_scratch_) marker_.add_nets_of(*topology_, cell);
 
   change_scratch_.clear();
   probe_delta_ = hpwl_.probe_nets(marker_.nets(), &box_scratch_, &change_scratch_);

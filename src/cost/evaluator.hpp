@@ -125,6 +125,7 @@ class Evaluator {
   placement::HpwlState hpwl_;
   timing::PathTimer timer_;
   placement::NetMarker marker_;
+  const netlist::Topology* topology_;  // CSR adjacency for the trial gather
   std::vector<netlist::CellId> moved_scratch_;
   std::vector<placement::NetChange> change_scratch_;
   std::vector<placement::NetBox> box_scratch_;

@@ -1,0 +1,17 @@
+// Dense index types shared by the netlist model and its CSR topology view.
+//
+// CellId / NetId index into the Netlist's cell/net tables and into every
+// flat array derived from them (Topology, placement state, HPWL boxes).
+#pragma once
+
+#include <cstdint>
+
+namespace pts::netlist {
+
+using CellId = std::uint32_t;
+using NetId = std::uint32_t;
+
+inline constexpr CellId kNoCell = static_cast<CellId>(-1);
+inline constexpr NetId kNoNet = static_cast<NetId>(-1);
+
+}  // namespace pts::netlist

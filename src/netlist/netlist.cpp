@@ -23,7 +23,6 @@ void Netlist::finalize() {
   const auto n_cells = cells_.size();
   movable_.clear();
   pads_.clear();
-  nets_of_.assign(n_cells, {});
   total_movable_width_ = 0;
 
   std::unordered_set<std::string> names;
@@ -56,14 +55,6 @@ void Netlist::finalize() {
         total_movable_width_ += c.width;
         break;
     }
-    // Incident-net index (out net first, then inputs, deduplicated — a cell
-    // may legitimately take the same net on two pins).
-    auto& incident = nets_of_[id];
-    if (c.out_net != kNoNet) incident.push_back(c.out_net);
-    for (NetId nid : c.in_nets) {
-      if (std::find(incident.begin(), incident.end(), nid) == incident.end())
-        incident.push_back(nid);
-    }
   }
 
   for (NetId nid = 0; nid < nets_.size(); ++nid) {
@@ -76,9 +67,6 @@ void Netlist::finalize() {
 
   // Kahn topological sort over the cell graph (edge: net driver -> sink).
   std::vector<std::size_t> indegree(n_cells, 0);
-  for (const auto& c : cells_) {
-    (void)c;
-  }
   for (CellId id = 0; id < n_cells; ++id) {
     indegree[id] = cells_[id].in_nets.size();
   }
@@ -102,6 +90,11 @@ void Netlist::finalize() {
   }
   PTS_CHECK_MSG(topo_.size() == n_cells, "netlist contains a combinational cycle");
   logic_depth_ = depth.empty() ? 0 : *std::max_element(depth.begin(), depth.end());
+
+  // Flatten the validated pin graph into the CSR view (incident-net index
+  // included — a cell may legitimately take the same net on two pins, so
+  // the index is deduplicated there).
+  topology_.build(*this);
 }
 
 NetlistBuilder::NetlistBuilder(std::string name) { netlist_.name_ = std::move(name); }

@@ -11,19 +11,16 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "netlist/ids.hpp"
+#include "netlist/topology.hpp"
 #include "support/check.hpp"
 
 namespace pts::netlist {
-
-using CellId = std::uint32_t;
-using NetId = std::uint32_t;
-
-inline constexpr CellId kNoCell = static_cast<CellId>(-1);
-inline constexpr NetId kNoNet = static_cast<NetId>(-1);
 
 enum class CellKind : std::uint8_t {
   PrimaryInput,   ///< pad; drives one net, fixed on the periphery
@@ -84,11 +81,13 @@ class Netlist {
   /// Ids of pads (PI + PO), in id order.
   const std::vector<CellId>& pad_cells() const { return pads_; }
 
-  /// All nets incident to `id` (in_nets plus out_net), deduplicated.
-  const std::vector<NetId>& nets_of(CellId id) const {
-    PTS_DCHECK(id < nets_of_.size());
-    return nets_of_[id];
-  }
+  /// All nets incident to `id` (out_net first, then in_nets), deduplicated.
+  /// Thin forward over the CSR topology storage.
+  std::span<const NetId> nets_of(CellId id) const { return topology_.nets_of(id); }
+
+  /// Flat CSR view of the pin graph plus SoA copies of the hot fields.
+  /// Built once at finalize(); immutable and shareable across workers.
+  const Topology& topology() const { return topology_; }
 
   std::optional<CellId> find_cell(std::string_view name) const;
 
@@ -114,7 +113,7 @@ class Netlist {
   std::vector<Net> nets_;
   std::vector<CellId> movable_;
   std::vector<CellId> pads_;
-  std::vector<std::vector<NetId>> nets_of_;
+  Topology topology_;
   std::vector<CellId> topo_;
   std::int64_t total_movable_width_ = 0;
   std::size_t logic_depth_ = 0;

@@ -1,0 +1,107 @@
+// Flat CSR (compressed-sparse-row) view of the netlist pin graph.
+//
+// The Netlist's object model (Cell / Net structs with per-object vectors)
+// is convenient to build and validate, but a vector-of-vectors layout makes
+// the search inner loop cache-miss bound: every trial move chases one heap
+// pointer per net for the sink list and loads ~80-byte structs (name string
+// included) to read a 8-byte weight. The Topology packs everything the hot
+// loops touch into contiguous arrays (DESIGN.md §7):
+//
+//   pin_offsets / net_pins    net -> pins, driver first, then the sinks in
+//                             net order (so walking pins(net) visits cells
+//                             in exactly the order compute_box always did —
+//                             summation/min-max order is part of the API)
+//   cell_net_offsets / cell_nets
+//                             cell -> incident nets, out_net first, then
+//                             input nets deduplicated in first-seen order
+//                             (identical to the old Netlist::nets_of)
+//   net_weight                per-net weight (SoA copy of Net::weight)
+//   cell_width / cell_intrinsic_delay / cell_load_factor / cell_movable
+//                             SoA copies of the Cell fields hot loops read
+//
+// The view is built once by Netlist::finalize() and is immutable afterwards;
+// all workers of a parallel search share it read-only. The legacy accessors
+// (Netlist::nets_of, Net::sinks, ...) remain valid — nets_of() is a thin
+// forward over this storage — so existing code keeps compiling.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/ids.hpp"
+#include "support/check.hpp"
+
+namespace pts::netlist {
+
+class Netlist;
+
+class Topology {
+ public:
+  std::size_t num_cells() const {
+    return cell_net_offsets_.empty() ? 0 : cell_net_offsets_.size() - 1;
+  }
+  std::size_t num_nets() const {
+    return pin_offsets_.empty() ? 0 : pin_offsets_.size() - 1;
+  }
+  /// Total pin count (= sum of Net::pin_count over all nets).
+  std::size_t num_pins() const { return net_pins_.size(); }
+
+  /// All pins of `net`: the driver first, then the sinks in net order.
+  std::span<const CellId> pins(NetId net) const {
+    PTS_DCHECK(net < num_nets());  // also rejects the kNoNet sentinel
+    return {net_pins_.data() + pin_offsets_[net],
+            net_pins_.data() + pin_offsets_[net + 1]};
+  }
+  CellId driver(NetId net) const {
+    PTS_DCHECK(net < num_nets());
+    return net_pins_[pin_offsets_[net]];
+  }
+  std::span<const CellId> sinks(NetId net) const { return pins(net).subspan(1); }
+
+  /// Nets incident to `cell` (out net first, inputs deduplicated) — the CSR
+  /// storage behind Netlist::nets_of().
+  std::span<const NetId> nets_of(CellId cell) const {
+    PTS_DCHECK(cell < num_cells());  // also rejects the kNoCell sentinel
+    return {cell_nets_.data() + cell_net_offsets_[cell],
+            cell_nets_.data() + cell_net_offsets_[cell + 1]};
+  }
+
+  double net_weight(NetId net) const {
+    PTS_DCHECK(net < net_weight_.size());
+    return net_weight_[net];
+  }
+  /// Cell width as a double (the form every geometry computation uses).
+  double cell_width(CellId cell) const {
+    PTS_DCHECK(cell < cell_width_.size());
+    return cell_width_[cell];
+  }
+  double cell_intrinsic_delay(CellId cell) const {
+    PTS_DCHECK(cell < cell_intrinsic_delay_.size());
+    return cell_intrinsic_delay_[cell];
+  }
+  double cell_load_factor(CellId cell) const {
+    PTS_DCHECK(cell < cell_load_factor_.size());
+    return cell_load_factor_[cell];
+  }
+  bool cell_movable(CellId cell) const {
+    PTS_DCHECK(cell < cell_movable_.size());
+    return cell_movable_[cell] != 0;
+  }
+
+ private:
+  friend class Netlist;
+  void build(const Netlist& netlist);
+
+  std::vector<std::uint32_t> pin_offsets_;       // num_nets + 1
+  std::vector<CellId> net_pins_;                 // driver-first pin lists
+  std::vector<std::uint32_t> cell_net_offsets_;  // num_cells + 1
+  std::vector<NetId> cell_nets_;                 // deduplicated incident nets
+  std::vector<double> net_weight_;
+  std::vector<double> cell_width_;
+  std::vector<double> cell_intrinsic_delay_;
+  std::vector<double> cell_load_factor_;
+  std::vector<std::uint8_t> cell_movable_;
+};
+
+}  // namespace pts::netlist

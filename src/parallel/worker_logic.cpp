@@ -16,6 +16,7 @@ ClwSearch::ClwSearch(tabu::CellRange range, tabu::CompoundParams params)
 void ClwSearch::begin(cost::Evaluator& eval, Rng& rng) {
   eval_ = &eval;
   rng_ = &rng;
+  movable_ = eval.placement().netlist().movable_cells();
   start_cost_ = eval.cost();
   current_cost_ = start_cost_;
   steps_ = 0;
@@ -35,7 +36,7 @@ void ClwSearch::step() {
 
   // One trial: sample and probe (no mutate-and-undo; the probe leaves the
   // evaluator untouched, so a trial costs one incremental pass).
-  const Move move = tabu::sample_move(eval_->placement().netlist(), range_, *rng_);
+  const Move move = tabu::sample_move(movable_, range_, *rng_);
   const double cost_after = eval_->probe_swap(move.a, move.b);
   if (!have_level_best_ || cost_after < level_best_cost_) {
     level_best_ = move;
@@ -112,7 +113,9 @@ TswState::TswState(cost::Evaluator& eval, const tabu::TabuParams& tabu_params,
       rng_(rng),
       list_(tabu_params.tenure, tabu_params.attribute),
       iter_best_cost_(eval.cost()),
-      iter_best_slots_(eval.placement().slots()) {}
+      iter_best_slots_(eval.placement().slots()) {
+  diversify_scratch_.reserve(diversify_params_.depth);
+}
 
 void TswState::begin_global_iteration() {
   iter_best_cost_ = eval_->cost();
@@ -122,8 +125,8 @@ void TswState::begin_global_iteration() {
 }
 
 std::size_t TswState::apply_diversification() {
-  const auto moves =
-      tabu::diversify(*eval_, diversify_range_, diversify_params_, rng_);
+  tabu::diversify(*eval_, diversify_range_, diversify_params_, rng_,
+                  &diversify_scratch_);
   // Diversification may improve the iteration best by accident; track it so
   // reports stay consistent with the evaluator state.
   const double cost = eval_->cost();
@@ -133,7 +136,7 @@ std::size_t TswState::apply_diversification() {
     improved_since_snapshot_ = true;
   }
   // Work units: each diversification move trialled `width` candidate swaps.
-  return moves.size() * diversify_params_.width;
+  return diversify_scratch_.size() * diversify_params_.width;
 }
 
 int TswState::process_candidates(const std::vector<CompoundMove>& candidates) {

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "cost/evaluator.hpp"
@@ -87,6 +88,9 @@ class ClwSearch {
 
   cost::Evaluator* eval_ = nullptr;
   Rng* rng_ = nullptr;
+  /// Movable-cell table hoisted at begin(): step() samples one trial from
+  /// it without re-resolving the evaluator->placement->netlist chain.
+  std::span<const netlist::CellId> movable_;
   double start_cost_ = 0.0;
   std::size_t steps_ = 0;
   std::size_t level_ = 0;
@@ -173,6 +177,7 @@ class TswState {
   std::vector<netlist::CellId> iter_best_slots_;
   bool improved_since_snapshot_ = false;
   std::vector<tabu::Move> last_applied_;
+  std::vector<tabu::Move> diversify_scratch_;  ///< reused move buffer
   std::vector<BestSnapshot> snapshots_;
 };
 

@@ -7,15 +7,19 @@ namespace pts::placement {
 using netlist::NetId;
 
 HpwlState::HpwlState(const Placement& placement)
-    : placement_(&placement), boxes_(placement.netlist().num_nets()) {
+    : placement_(&placement),
+      topology_(&placement.netlist().topology()),
+      boxes_(placement.netlist().num_nets()) {
   rebuild();
 }
 
 NetBox HpwlState::compute_box(NetId net) const {
-  const auto& n = placement_->netlist().net(net);
-  const Point d = placement_->position(n.driver);
+  // CSR pins are driver-first, sinks in net order, so this visits cells in
+  // the exact order the Net-struct walk always did (min/max order pinned).
+  const std::span<const netlist::CellId> pins = topology_->pins(net);
+  const Point d = placement_->position(pins.front());
   NetBox box{d.x, d.x, d.y, d.y};
-  for (netlist::CellId sink : n.sinks) {
+  for (netlist::CellId sink : pins.subspan(1)) {
     const Point p = placement_->position(sink);
     box.min_x = std::min(box.min_x, p.x);
     box.max_x = std::max(box.max_x, p.x);
@@ -28,13 +32,12 @@ NetBox HpwlState::compute_box(NetId net) const {
 double HpwlState::update_nets(std::span<const NetId> nets,
                               std::vector<NetChange>* changes) {
   double delta = 0.0;
-  const auto& netlist = placement_->netlist();
   for (NetId net : nets) {
     const double before = boxes_[net].half_perimeter();
     boxes_[net] = compute_box(net);
     const double after = boxes_[net].half_perimeter();
     if (before == after) continue;
-    delta += netlist.net(net).weight * (after - before);
+    delta += topology_->net_weight(net) * (after - before);
     if (changes != nullptr) changes->push_back({net, before, after});
   }
   total_ += delta;
@@ -47,14 +50,13 @@ double HpwlState::probe_nets(std::span<const NetId> nets,
   PTS_DCHECK(scratch != nullptr);
   scratch->resize(nets.size());
   double delta = 0.0;
-  const auto& netlist = placement_->netlist();
   for (std::size_t i = 0; i < nets.size(); ++i) {
     const NetId net = nets[i];
     const double before = boxes_[net].half_perimeter();
     (*scratch)[i] = compute_box(net);
     const double after = (*scratch)[i].half_perimeter();
     if (before == after) continue;
-    delta += netlist.net(net).weight * (after - before);
+    delta += topology_->net_weight(net) * (after - before);
     if (changes != nullptr) changes->push_back({net, before, after});
   }
   return delta;
@@ -68,19 +70,19 @@ void HpwlState::commit_probe(std::span<const NetId> nets,
 }
 
 void HpwlState::rebuild() {
-  const auto& netlist = placement_->netlist();
+  const std::size_t num_nets = topology_->num_nets();
   total_ = 0.0;
-  for (NetId net = 0; net < netlist.num_nets(); ++net) {
+  for (NetId net = 0; net < num_nets; ++net) {
     boxes_[net] = compute_box(net);
-    total_ += netlist.net(net).weight * boxes_[net].half_perimeter();
+    total_ += topology_->net_weight(net) * boxes_[net].half_perimeter();
   }
 }
 
 double HpwlState::compute_fresh_total() const {
-  const auto& netlist = placement_->netlist();
+  const std::size_t num_nets = topology_->num_nets();
   double total = 0.0;
-  for (NetId net = 0; net < netlist.num_nets(); ++net) {
-    total += netlist.net(net).weight * compute_box(net).half_perimeter();
+  for (NetId net = 0; net < num_nets; ++net) {
+    total += topology_->net_weight(net) * compute_box(net).half_perimeter();
   }
   return total;
 }

@@ -91,6 +91,7 @@ class HpwlState {
   NetBox compute_box(netlist::NetId net) const;
 
   const Placement* placement_;
+  const netlist::Topology* topology_;  // CSR pin lists + SoA net weights
   std::vector<NetBox> boxes_;
   double total_ = 0.0;
 };
@@ -99,7 +100,11 @@ class HpwlState {
 /// set of moved cells without clearing an O(nets) array per swap.
 class NetMarker {
  public:
-  explicit NetMarker(std::size_t num_nets) : stamp_(num_nets, 0) {}
+  explicit NetMarker(std::size_t num_nets) : stamp_(num_nets, 0) {
+    // The union can never exceed the net count; reserving up front keeps
+    // collection allocation-free from the first swap on.
+    nets_.reserve(num_nets);
+  }
 
   /// Begins a new collection round; previously collected nets are forgotten.
   void begin() {
@@ -107,14 +112,17 @@ class NetMarker {
     nets_.clear();
   }
 
-  void add_nets_of(const netlist::Netlist& netlist, netlist::CellId cell) {
-    for (netlist::NetId net : netlist.nets_of(cell)) {
+  void add_nets_of(const netlist::Topology& topology, netlist::CellId cell) {
+    for (netlist::NetId net : topology.nets_of(cell)) {
       PTS_DCHECK(net < stamp_.size());
       if (stamp_[net] != epoch_) {
         stamp_[net] = epoch_;
         nets_.push_back(net);
       }
     }
+  }
+  void add_nets_of(const netlist::Netlist& netlist, netlist::CellId cell) {
+    add_nets_of(netlist.topology(), cell);
   }
 
   std::span<const netlist::NetId> nets() const { return nets_; }

@@ -8,13 +8,22 @@ namespace pts::placement {
 using netlist::CellId;
 
 Placement::Placement(const netlist::Netlist& netlist, const Layout& layout)
-    : netlist_(&netlist), layout_(&layout) {
+    : netlist_(&netlist), topology_(&netlist.topology()), layout_(&layout) {
   PTS_CHECK_MSG(layout.num_slots() == netlist.num_movable(),
                 "layout must be derived from the same netlist");
   slot_of_.assign(netlist.num_cells(), kNoSlot);
   cell_at_.assign(layout.num_slots(), netlist::kNoCell);
-  x_center_.assign(netlist.num_cells(), 0.0);
+  pos_x_.assign(netlist.num_cells(), 0.0);
+  pos_y_.assign(netlist.num_cells(), 0.0);
   row_extent_.assign(layout.num_rows(), 0.0);
+
+  // Pad positions never change; fix them once so position() is a plain
+  // two-array load for every cell kind.
+  for (const CellId pad : netlist.pad_cells()) {
+    const Point p = layout.pad_position(pad);
+    pos_x_[pad] = p.x;
+    pos_y_[pad] = p.y;
+  }
 
   const auto& movable = netlist.movable_cells();
   for (std::size_t k = 0; k < movable.size(); ++k) {
@@ -47,25 +56,19 @@ void Placement::assign_slots(const std::vector<CellId>& cell_at_slot) {
   rebuild_all_rows();
 }
 
-Point Placement::position(CellId cell) const {
-  const auto& c = netlist_->cell(cell);
-  if (!c.movable()) return layout_->pad_position(cell);
-  const SlotId slot = slot_of_[cell];
-  PTS_DCHECK(slot != kNoSlot);
-  return Point{x_center_[cell], layout_->row_y(layout_->row_of_slot(slot))};
-}
-
 double Placement::max_row_extent() const {
   return *std::max_element(row_extent_.begin(), row_extent_.end());
 }
 
 void Placement::rebuild_row(std::size_t row) {
   const std::size_t count = layout_->slots_in_row(row);
+  const double y = layout_->row_y(row);
   double x = 0.0;
   for (std::size_t col = 0; col < count; ++col) {
     const CellId cell = cell_at_[layout_->slot_at(row, col)];
-    const double w = static_cast<double>(netlist_->cell(cell).width);
-    x_center_[cell] = x + 0.5 * w;
+    const double w = topology_->cell_width(cell);
+    pos_x_[cell] = x + 0.5 * w;
+    pos_y_[cell] = y;
     x += w;
   }
   row_extent_[row] = x;
@@ -77,7 +80,7 @@ void Placement::rebuild_all_rows() {
 
 void Placement::swap_cells(CellId a, CellId b, std::vector<CellId>* moved_cells) {
   PTS_DCHECK(a != b);
-  PTS_DCHECK(netlist_->cell(a).movable() && netlist_->cell(b).movable());
+  PTS_DCHECK(topology_->cell_movable(a) && topology_->cell_movable(b));
   const SlotId sa = slot_of_[a];
   const SlotId sb = slot_of_[b];
   const std::size_t ra = layout_->row_of_slot(sa);
@@ -88,11 +91,14 @@ void Placement::swap_cells(CellId a, CellId b, std::vector<CellId>* moved_cells)
   cell_at_[sa] = b;
   cell_at_[sb] = a;
 
-  const int wa = netlist_->cell(a).width;
-  const int wb = netlist_->cell(b).width;
+  // Exact int-to-double widths from the SoA array; equality is preserved.
+  const double wa = topology_->cell_width(a);
+  const double wb = topology_->cell_width(b);
   if (wa == wb) {
-    // Equal widths: only a and b move; their centers trade places.
-    std::swap(x_center_[a], x_center_[b]);
+    // Equal widths: only a and b move; their centers trade places (the
+    // cells trade slots, so they trade row y coordinates too).
+    std::swap(pos_x_[a], pos_x_[b]);
+    std::swap(pos_y_[a], pos_y_[b]);
     if (moved_cells != nullptr) {
       moved_cells->push_back(a);
       moved_cells->push_back(b);
@@ -144,7 +150,8 @@ void Placement::check_consistent() const {
   Placement fresh(*netlist_, *layout_);
   fresh.assign_slots(cell_at_);
   for (CellId c : netlist_->movable_cells()) {
-    PTS_CHECK(std::abs(fresh.x_center_[c] - x_center_[c]) < 1e-9);
+    PTS_CHECK(std::abs(fresh.pos_x_[c] - pos_x_[c]) < 1e-9);
+    PTS_CHECK(fresh.pos_y_[c] == pos_y_[c]);
   }
   for (std::size_t row = 0; row < layout_->num_rows(); ++row) {
     PTS_CHECK(std::abs(fresh.row_extent_[row] - row_extent_[row]) < 1e-9);

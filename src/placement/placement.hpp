@@ -44,8 +44,13 @@ class Placement {
   }
 
   /// Center position of any cell: pads from the layout, gates from the row
-  /// geometry.
-  Point position(netlist::CellId cell) const;
+  /// geometry. Served from flat per-cell coordinate arrays maintained
+  /// across swaps — one load per axis, no branch, no slot→row division —
+  /// because this runs once per pin of every net-box recomputation.
+  Point position(netlist::CellId cell) const {
+    PTS_DCHECK(cell < pos_x_.size());
+    return Point{pos_x_[cell], pos_y_[cell]};
+  }
 
   /// Width of the occupied extent of `row` (sum of cell widths in it).
   double row_extent(std::size_t row) const {
@@ -82,10 +87,12 @@ class Placement {
   void rebuild_all_rows();
 
   const netlist::Netlist* netlist_;
+  const netlist::Topology* topology_;  // SoA widths/flags for the hot paths
   const Layout* layout_;
   std::vector<SlotId> slot_of_;          // by cell id; kNoSlot for pads
   std::vector<netlist::CellId> cell_at_;  // by slot
-  std::vector<double> x_center_;          // by cell id (gates only)
+  std::vector<double> pos_x_;             // by cell id (pads fixed at build)
+  std::vector<double> pos_y_;             // by cell id (pads fixed at build)
   std::vector<double> row_extent_;        // by row
 };
 

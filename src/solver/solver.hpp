@@ -39,7 +39,7 @@
 //   engine search rng     = Rng(spec.seed ^ kSearchStreamSalt)
 // The parallel engines receive spec.parallel with the shared seed/cost/tabu
 // blocks overridden (see SolveSpec::parallel) and derive worker streams
-// exactly as ParallelTabuSearch always did.
+// from PtsConfig exactly as the direct SimEngine/ThreadedEngine runs do.
 #pragma once
 
 #include <cstdint>

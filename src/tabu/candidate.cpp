@@ -19,8 +19,8 @@ std::vector<CellRange> partition_cells(std::size_t num_movable, std::size_t work
   return ranges;
 }
 
-Move sample_move(const netlist::Netlist& netlist, const CellRange& range, Rng& rng) {
-  const auto& movable = netlist.movable_cells();
+Move sample_move(std::span<const netlist::CellId> movable, const CellRange& range,
+                 Rng& rng) {
   PTS_CHECK_MSG(movable.size() >= 2, "need at least two movable cells to swap");
   PTS_CHECK_MSG(!range.empty(), "cannot sample from an empty range");
   PTS_CHECK(range.end <= movable.size());

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "netlist/netlist.hpp"
@@ -36,7 +37,15 @@ inline CellRange full_range(const netlist::Netlist& netlist) {
 
 /// Samples a swap: first cell uniform in `range`, second uniform over all
 /// movable cells, distinct from the first. Requires >= 2 movable cells and
-/// a non-empty range.
-Move sample_move(const netlist::Netlist& netlist, const CellRange& range, Rng& rng);
+/// a non-empty range. `movable` is the flat movable-cell table — trial
+/// loops hoist it once (`netlist.movable_cells()`) instead of re-resolving
+/// the netlist indirection per trial.
+Move sample_move(std::span<const netlist::CellId> movable, const CellRange& range,
+                 Rng& rng);
+
+inline Move sample_move(const netlist::Netlist& netlist, const CellRange& range,
+                        Rng& rng) {
+  return sample_move(netlist.movable_cells(), range, rng);
+}
 
 }  // namespace pts::tabu

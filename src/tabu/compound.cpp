@@ -9,6 +9,8 @@ CompoundMove build_compound_move(cost::Evaluator& eval, const CellRange& range,
   PTS_CHECK(params.depth >= 1);
   const double start_cost = eval.cost();
   const bool use_memory = memory != nullptr && memory->active();
+  const std::span<const netlist::CellId> movable =
+      eval.placement().netlist().movable_cells();
 
   CompoundMove compound;
   compound.cost = start_cost;
@@ -17,7 +19,7 @@ CompoundMove build_compound_move(cost::Evaluator& eval, const CellRange& range,
     double best_cost = 0.0;
     bool have_best = false;
     for (std::size_t trial = 0; trial < params.width; ++trial) {
-      const Move move = sample_move(eval.placement().netlist(), range, rng);
+      const Move move = sample_move(movable, range, rng);
       double cost_after = eval.probe_swap(move.a, move.b);
       if (use_memory) cost_after = memory->adjusted_cost(move, cost_after);
       if (!have_best || cost_after < best_cost) {

@@ -2,19 +2,22 @@
 
 namespace pts::tabu {
 
-std::vector<Move> diversify(cost::Evaluator& eval, const CellRange& range,
-                            const DiversifyParams& params, Rng& rng) {
-  std::vector<Move> applied;
-  if (!params.enabled || range.empty()) return applied;
+void diversify(cost::Evaluator& eval, const CellRange& range,
+               const DiversifyParams& params, Rng& rng,
+               std::vector<Move>* applied) {
+  PTS_DCHECK(applied != nullptr);
+  applied->clear();
+  if (!params.enabled || range.empty()) return;
   PTS_CHECK(params.width >= 1);
-  applied.reserve(params.depth);
-  const auto& netlist = eval.placement().netlist();
+  applied->reserve(params.depth);
+  const std::span<const netlist::CellId> movable =
+      eval.placement().netlist().movable_cells();
   for (std::size_t level = 0; level < params.depth; ++level) {
     Move best{};
     double best_cost = 0.0;
     bool have = false;
     for (std::size_t trial = 0; trial < params.width; ++trial) {
-      const Move move = sample_move(netlist, range, rng);
+      const Move move = sample_move(movable, range, rng);
       const double cost_after = eval.probe_swap(move.a, move.b);
       if (!have || cost_after < best_cost) {
         best = move;
@@ -24,8 +27,14 @@ std::vector<Move> diversify(cost::Evaluator& eval, const CellRange& range,
     }
     PTS_CHECK(have);
     eval.commit_swap(best.a, best.b);
-    applied.push_back(best);
+    applied->push_back(best);
   }
+}
+
+std::vector<Move> diversify(cost::Evaluator& eval, const CellRange& range,
+                            const DiversifyParams& params, Rng& rng) {
+  std::vector<Move> applied;
+  diversify(eval, range, params, rng, &applied);
   return applied;
 }
 

@@ -28,9 +28,17 @@ struct DiversifyParams {
   bool enabled = true;
 };
 
-/// Applies the diversification step to `eval`'s current solution. Returns
-/// the applied moves (diversification is kept, not undone). The number of
-/// trial evaluations charged to the TSW is depth * width.
+/// Applies the diversification step to `eval`'s current solution
+/// (diversification is kept, not undone), clearing `applied` and filling it
+/// with the applied moves. Callers that run every global iteration (the
+/// TSW state machine) pass a reused member buffer so the steady state does
+/// not allocate. The number of trial evaluations charged to the TSW is
+/// depth * width.
+void diversify(cost::Evaluator& eval, const CellRange& range,
+               const DiversifyParams& params, Rng& rng,
+               std::vector<Move>* applied);
+
+/// Convenience wrapper returning a fresh move buffer.
 std::vector<Move> diversify(cost::Evaluator& eval, const CellRange& range,
                             const DiversifyParams& params, Rng& rng);
 

@@ -11,15 +11,32 @@ using netlist::CellKind;
 using netlist::NetId;
 
 PathSet::PathSet(const netlist::Netlist& netlist, std::vector<TimingPath> paths)
-    : paths_(std::move(paths)), paths_of_net_(netlist.num_nets()) {
+    : paths_(std::move(paths)) {
+  const std::size_t num_nets = netlist.num_nets();
+  // Two-pass CSR build: count paths per net, prefix-sum, then fill in
+  // ascending path order (matching the old per-net push_back order).
+  net_path_offsets_.assign(num_nets + 1, 0);
+  const_delay_.resize(paths_.size());
   for (std::uint32_t p = 0; p < paths_.size(); ++p) {
     PTS_CHECK(paths_[p].cells.size() == paths_[p].nets.size() + 1);
+    const_delay_[p] = paths_[p].const_delay;
     for (NetId net : paths_[p].nets) {
-      PTS_CHECK(net < paths_of_net_.size());
-      auto& list = paths_of_net_[net];
+      PTS_CHECK(net < num_nets);
+      ++net_path_offsets_[net + 1];
+    }
+  }
+  for (std::size_t n = 0; n < num_nets; ++n) {
+    net_path_offsets_[n + 1] += net_path_offsets_[n];
+  }
+  net_paths_.resize(net_path_offsets_.back());
+  std::vector<std::uint32_t> cursor(net_path_offsets_.begin(),
+                                    net_path_offsets_.end() - 1);
+  for (std::uint32_t p = 0; p < paths_.size(); ++p) {
+    for (NetId net : paths_[p].nets) {
       // A path may not traverse the same net twice (paths are simple).
-      PTS_DCHECK(std::find(list.begin(), list.end(), p) == list.end());
-      list.push_back(p);
+      PTS_DCHECK(cursor[net] == net_path_offsets_[net] ||
+                 net_paths_[cursor[net] - 1] != p);
+      net_paths_[cursor[net]++] = p;
     }
   }
 }
@@ -88,6 +105,8 @@ PathTimer::PathTimer(std::shared_ptr<const PathSet> paths,
                      const placement::HpwlState& hpwl, DelayModel model)
     : paths_(std::move(paths)), model_(model) {
   PTS_CHECK(paths_ != nullptr);
+  const_delay_ = paths_->const_delays();
+  peek_sum_.reserve(paths_->size());
   rebuild(hpwl);
 }
 
@@ -107,8 +126,7 @@ double PathTimer::peek_delta(std::span<const placement::NetChange> changes) {
   // Same reduction as max_delay()/path_delay(), against the scratch sums.
   double best = 0.0;
   for (std::size_t p = 0; p < peek_sum_.size(); ++p) {
-    best = std::max(best,
-                    paths_->path(p).const_delay + model_.wire_delay(peek_sum_[p]));
+    best = std::max(best, const_delay_[p] + model_.wire_delay(peek_sum_[p]));
   }
   return best;
 }

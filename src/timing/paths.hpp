@@ -34,7 +34,9 @@ struct TimingPath {
 };
 
 /// An immutable set of monitored paths with a net→paths reverse index.
-/// Shared (const) between all workers of a parallel search.
+/// Shared (const) between all workers of a parallel search. The reverse
+/// index and the per-path constant delays are stored flat (CSR / SoA,
+/// DESIGN.md §7) because the probe kernel walks them once per net change.
 class PathSet {
  public:
   PathSet(const netlist::Netlist& netlist, std::vector<TimingPath> paths);
@@ -42,15 +44,26 @@ class PathSet {
   std::size_t size() const { return paths_.size(); }
   const TimingPath& path(std::size_t i) const { return paths_[i]; }
 
-  /// Indices of monitored paths that traverse `net` (possibly empty).
-  const std::vector<std::uint32_t>& paths_of_net(netlist::NetId net) const {
-    PTS_DCHECK(net < paths_of_net_.size());
-    return paths_of_net_[net];
+  /// Indices of monitored paths that traverse `net` (possibly empty),
+  /// ascending. A CSR slice; iteration order matches the old per-net lists.
+  std::span<const std::uint32_t> paths_of_net(netlist::NetId net) const {
+    // Strict bound also rejects the kNoNet sentinel (uint32 -1), which a
+    // `net + 1` formulation would wrap past.
+    PTS_DCHECK(net_path_offsets_.size() > 0 &&
+               net < net_path_offsets_.size() - 1);
+    return {net_paths_.data() + net_path_offsets_[net],
+            net_paths_.data() + net_path_offsets_[net + 1]};
   }
+
+  /// Placement-independent delay of every path (SoA copy of
+  /// TimingPath::const_delay), indexed by path.
+  std::span<const double> const_delays() const { return const_delay_; }
 
  private:
   std::vector<TimingPath> paths_;
-  std::vector<std::vector<std::uint32_t>> paths_of_net_;
+  std::vector<std::uint32_t> net_path_offsets_;  // num_nets + 1
+  std::vector<std::uint32_t> net_paths_;         // flat reverse index
+  std::vector<double> const_delay_;              // per path
 };
 
 /// Extracts up to `k` monitored paths: per primary output, the critical
@@ -88,13 +101,14 @@ class PathTimer {
 
   double path_delay(std::size_t i) const {
     PTS_DCHECK(i < wire_sum_.size());
-    return paths_->path(i).const_delay + model_.wire_delay(wire_sum_[i]);
+    return const_delay_[i] + model_.wire_delay(wire_sum_[i]);
   }
 
   const PathSet& paths() const { return *paths_; }
 
  private:
   std::shared_ptr<const PathSet> paths_;
+  std::span<const double> const_delay_;  // flat view into *paths_
   DelayModel model_;
   std::vector<double> wire_sum_;
   std::vector<double> peek_sum_;  // scratch for peek_delta/commit_peek

@@ -14,7 +14,6 @@
 #include "baselines/constructive.hpp"
 #include "baselines/local_search.hpp"
 #include "experiments/workloads.hpp"
-#include "parallel/pts.hpp"
 #include "parallel/sim_engine.hpp"
 #include "parallel/threaded_engine.hpp"
 #include "solver/solver.hpp"
@@ -311,20 +310,6 @@ TEST(SolverParity, ParallelThreadedMatchesDirectInvocation) {
     EXPECT_EQ(via.best_slots, direct.best_slots) << name;
     EXPECT_EQ(via.stats.iterations, direct.stats.iterations) << name;
   }
-}
-
-TEST(SolverParity, DeprecatedShimStillMatchesTheEngines) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto& nl = experiments::circuit("highway");
-  const auto spec = small_parallel_spec(nl);
-  const auto config = direct_parallel_config(spec);
-  const auto shim = parallel::ParallelTabuSearch(nl, config).run_sim();
-  const auto direct = parallel::SimEngine(nl, config).run();
-  EXPECT_EQ(shim.best_cost, direct.best_cost);
-  EXPECT_EQ(shim.best_slots, direct.best_slots);
-  EXPECT_EQ(shim.makespan, direct.makespan);
-#pragma GCC diagnostic pop
 }
 
 // -- stop conditions --------------------------------------------------------
