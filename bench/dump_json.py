@@ -1,17 +1,25 @@
 #!/usr/bin/env python3
-"""Emit a compact perf-trail JSON from the micro_core smoke benches.
+"""Emit a compact perf-trail JSON from the smoke-tier benches.
 
 Runs `micro_core --smoke --benchmark_format=json`, extracts the probe
 throughput benches (BM_ProbeCsr / BM_ProbeVecOfVec / BM_ProbeSwap /
 BM_ApplySwap) keyed by circuit, and writes a small JSON file with ns/op per
-bench plus the CSR-vs-vector-of-vectors speedup per circuit. CI runs this on
-every push and uploads the result as an artifact (BENCH_baseline.json), so
-future PRs have a trajectory of probe-throughput numbers to compare against;
-the checked-in bench/BENCH_baseline.json is the snapshot taken when the CSR
-topology landed.
+bench plus the CSR-vs-vector-of-vectors speedup per circuit. With --macro it
+additionally runs `macro_scale --smoke` and folds its per-circuit scale
+report (build/setup/probe times and the short tabu/anneal/parallel-sim runs)
+into the output. CI runs this on every push and uploads the result as an
+artifact (BENCH_baseline.json), so future PRs have a trajectory of
+throughput numbers to compare against; the checked-in
+bench/BENCH_baseline.json is the snapshot taken when the CSR topology
+landed (macro_scale numbers added with the scale tier).
+
+Both inputs are schema-validated: a tracked bench or counter that goes
+missing (renamed benchmark, label format drift, a MACRO line losing a key)
+fails the run loudly instead of silently emitting a hollow perf trail.
 
 Usage:
-    bench/dump_json.py <path-to-micro_core> [-o BENCH_baseline.json]
+    bench/dump_json.py <path-to-micro_core> [--macro <path-to-macro_scale>]
+                       [-o BENCH_baseline.json]
 """
 
 import argparse
@@ -22,8 +30,18 @@ import sys
 TRACKED_PREFIXES = ("BM_ProbeCsr", "BM_ProbeVecOfVec", "BM_ProbeSwap",
                     "BM_ApplySwap")
 
+MACRO_KEYS = ("circuit", "gates", "nets", "pins", "logic_depth", "build_ms",
+              "setup_ms", "probe_ns", "engines")
+MACRO_ENGINES = ("tabu", "anneal", "parallel-sim")
+MACRO_ENGINE_KEYS = ("wall_ms", "makespan_s", "initial_cost", "best_cost",
+                     "best_quality", "tt50_s")
 
-def run_benches(binary):
+
+def fail(message):
+    sys.exit(f"dump_json.py: {message}")
+
+
+def run_micro(binary):
     cmd = [
         binary,
         "--smoke",
@@ -34,13 +52,7 @@ def run_benches(binary):
     return json.loads(out.stdout)
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("binary", help="path to the micro_core binary")
-    parser.add_argument("-o", "--output", default="BENCH_baseline.json")
-    args = parser.parse_args()
-
-    raw = run_benches(args.binary)
+def parse_micro(raw):
     benches = {}
     for entry in raw.get("benchmarks", []):
         name = entry["name"]  # e.g. BM_ProbeCsr/3
@@ -49,14 +61,78 @@ def main():
             continue
         label = entry.get("label") or name
         circuit = label.split()[0]
+        if "real_time" not in entry:
+            fail(f"micro bench {name} has no real_time counter")
         benches.setdefault(bench, {})[circuit] = round(entry["real_time"], 2)
+    # Schema: every tracked bench present, every bench covering the same
+    # non-empty circuit set, every timing positive.
+    missing = [b for b in TRACKED_PREFIXES if b not in benches]
+    if missing:
+        fail(f"tracked benches missing from micro_core output: {missing}")
+    circuit_sets = {b: set(v) for b, v in benches.items()}
+    reference = circuit_sets[TRACKED_PREFIXES[0]]
+    if not reference:
+        fail(f"{TRACKED_PREFIXES[0]} reported no circuits")
+    for bench, circuits in circuit_sets.items():
+        if circuits != reference:
+            fail(f"{bench} circuits {sorted(circuits)} != "
+                 f"{TRACKED_PREFIXES[0]} circuits {sorted(reference)}")
+    for bench, values in benches.items():
+        for circuit, ns in values.items():
+            if not ns > 0:
+                fail(f"{bench}/{circuit} reported non-positive time {ns}")
+    return benches
+
+
+def run_macro(binary):
+    cmd = [binary, "--smoke"]
+    out = subprocess.run(cmd, check=True, capture_output=True, text=True)
+    entries = []
+    for line in out.stdout.splitlines():
+        if line.startswith("MACRO "):
+            try:
+                entries.append(json.loads(line[len("MACRO "):]))
+            except json.JSONDecodeError as err:
+                fail(f"unparseable MACRO line from {binary}: {err}")
+    if not entries:
+        fail(f"{binary} emitted no MACRO lines")
+    report = {}
+    for entry in entries:
+        missing = [k for k in MACRO_KEYS if k not in entry]
+        if missing:
+            fail(f"MACRO entry {entry.get('circuit', '?')} missing keys "
+                 f"{missing}")
+        for engine in MACRO_ENGINES:
+            if engine not in entry["engines"]:
+                fail(f"MACRO entry {entry['circuit']} missing engine "
+                     f"{engine}")
+            absent = [k for k in MACRO_ENGINE_KEYS
+                      if k not in entry["engines"][engine]]
+            if absent:
+                fail(f"MACRO entry {entry['circuit']} engine {engine} "
+                     f"missing counters {absent}")
+        if not entry["build_ms"] > 0:
+            fail(f"MACRO entry {entry['circuit']} non-positive build_ms")
+        report[entry["circuit"]] = entry
+    return report
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("binary", help="path to the micro_core binary")
+    parser.add_argument("--macro", default=None,
+                        help="path to the macro_scale binary (optional)")
+    parser.add_argument("-o", "--output", default="BENCH_baseline.json")
+    args = parser.parse_args()
+
+    raw = run_micro(args.binary)
+    benches = parse_micro(raw)
 
     speedup = {}
-    csr = benches.get("BM_ProbeCsr", {})
-    vov = benches.get("BM_ProbeVecOfVec", {})
+    csr = benches["BM_ProbeCsr"]
+    vov = benches["BM_ProbeVecOfVec"]
     for circuit in sorted(set(csr) & set(vov)):
-        if csr[circuit] > 0:
-            speedup[circuit] = round(vov[circuit] / csr[circuit], 3)
+        speedup[circuit] = round(vov[circuit] / csr[circuit], 3)
 
     result = {
         "source": "micro_core --smoke (google-benchmark)",
@@ -65,10 +141,16 @@ def main():
         "benchmarks": benches,
         "probe_speedup_csr_vs_vecofvec": speedup,
     }
+    if args.macro:
+        result["macro_scale"] = run_macro(args.macro)
     with open(args.output, "w") as f:
         json.dump(result, f, indent=2, sort_keys=True)
         f.write("\n")
     print(f"wrote {args.output}: probe speedup per circuit {speedup}")
+    if args.macro:
+        for circuit, entry in sorted(result["macro_scale"].items()):
+            print(f"  {circuit}: build {entry['build_ms']:.0f} ms, "
+                  f"probe {entry['probe_ns']:.0f} ns/op")
     return 0
 
 

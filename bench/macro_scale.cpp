@@ -1,0 +1,164 @@
+// Scale-tier macro benchmark: proves the system stays linear at 15x–90x the
+// paper's largest circuit. For each scale circuit (scale10k/scale50k, and
+// scale200k under --full) it reports:
+//
+//   build      netlist generation + finalize (CSR topology) wall time
+//   setup      layout + random placement + K-paths + evaluator construction
+//   probe      steady-state trial-probe throughput (the search inner loop)
+//   engines    a short tabu / anneal / parallel-sim run through the solver
+//              front door: wall time, makespan (virtual seconds for
+//              parallel-sim), cost before/after, and tt50 — the engine-clock
+//              instant the run had realized half of its own improvement
+//              (only parallel engines record a best-vs-time series).
+//
+// Tiers follow bench_common: --smoke (CI; scale10k only, clamped budgets),
+// default (scale10k + scale50k), --full (adds scale200k). --circuit
+// restricts to one circuit (any benchmark name, paper circuits included).
+//
+// Each circuit additionally emits one `MACRO {json}` line; bench/dump_json.py
+// parses and schema-validates those into the BENCH_*.json perf trail.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cost/evaluator.hpp"
+#include "netlist/benchmarks.hpp"
+#include "placement/placement.hpp"
+#include "solver/solver.hpp"
+#include "support/stopwatch.hpp"
+#include "timing/paths.hpp"
+
+namespace {
+
+using namespace pts;
+
+struct EngineReport {
+  std::string name;
+  double wall_ms = 0.0;
+  double makespan_s = 0.0;
+  double initial_cost = 0.0;
+  double best_cost = 0.0;
+  double best_quality = 0.0;
+  double tt50_s = -1.0;  ///< engine clock to half of the run's improvement
+};
+
+EngineReport run_engine(const netlist::Netlist& nl, const std::string& engine,
+                        const bench::BenchOptions& options) {
+  solver::SolveSpec spec = experiments::base_spec(nl, engine, /*seed=*/1,
+                                                  /*quick=*/true);
+  // Short fixed budgets: the point is "completes and improves at scale",
+  // not converged quality. Traces off where they would be per-move.
+  spec.tabu.iterations = options.smoke ? 10 : 40;
+  spec.tabu.trace_stride = 0;
+  spec.anneal.moves_per_temp = options.smoke ? 500 : 2000;
+  spec.anneal.cooling = 0.80;
+  spec.anneal.trace_stride = 0;
+  bench::apply_scale(spec.parallel, options);
+
+  EngineReport report;
+  report.name = engine;
+  const Stopwatch watch;
+  const solver::SolveResult result = solver::Solver().solve(spec);
+  report.wall_ms = watch.millis();
+  report.makespan_s = result.makespan;
+  report.initial_cost = result.initial_cost;
+  report.best_cost = result.best_cost;
+  report.best_quality = result.best_quality;
+  if (result.best_vs_time.size() > 0 && result.best_cost < result.initial_cost) {
+    report.tt50_s = result.time_to_cost(
+        experiments::improvement_threshold(result, 0.5));
+  }
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchOptions options = bench::parse_options(argc, argv);
+  // Scale-tier circuit selection (parse_options defaults target the paper
+  // circuits); an explicit --circuit always wins.
+  const Cli cli(argc, argv);
+  if (!cli.has("circuit")) {
+    if (options.smoke) {
+      options.circuits = {"scale10k"};
+    } else if (cli.get_flag("full")) {
+      options.circuits = experiments::scale_circuit_names();  // + scale200k
+    } else {
+      options.circuits = {"scale10k", "scale50k"};
+    }
+  }
+
+  bench::print_header("macro_scale",
+                      "build / probe / time-to-quality at 10k-200k gates");
+  std::printf("%-10s %10s %10s %12s  %s\n", "circuit", "build ms", "setup ms",
+              "probe ns/op", "engine runs (wall ms | best cost | tt50 s)");
+
+  for (const std::string& name : options.circuits) {
+    Stopwatch watch;
+    const netlist::Netlist nl = netlist::make_benchmark(name);
+    const double build_ms = watch.millis();
+
+    watch.reset();
+    const placement::Layout layout(nl);
+    cost::CostParams params;
+    Rng rng(1);
+    auto placement = placement::Placement::random(nl, layout, rng);
+    auto paths =
+        timing::extract_critical_paths(nl, params.num_paths, params.delay_model);
+    const cost::FuzzyGoals goals =
+        cost::Evaluator::calibrate_goals(placement, *paths, params);
+    cost::Evaluator eval(std::move(placement), std::move(paths), params, goals);
+    const double setup_ms = watch.millis();
+
+    // Steady-state probe throughput over random candidate swaps (warm-up
+    // first so every scratch buffer reaches its high-water mark).
+    const auto& movable = nl.movable_cells();
+    Rng probe_rng(2);
+    const std::size_t warmup = 1000;
+    const std::size_t probes = options.smoke ? 20'000 : 50'000;
+    for (std::size_t i = 0; i < warmup; ++i) {
+      const auto [ia, ib] = probe_rng.distinct_pair(movable.size());
+      eval.probe_swap(movable[ia], movable[ib]);
+    }
+    watch.reset();
+    double sink = 0.0;
+    for (std::size_t i = 0; i < probes; ++i) {
+      const auto [ia, ib] = probe_rng.distinct_pair(movable.size());
+      sink += eval.probe_swap(movable[ia], movable[ib]);
+    }
+    const double probe_ns = watch.seconds() * 1e9 / static_cast<double>(probes);
+
+    std::vector<EngineReport> engines;
+    for (const char* engine : {"tabu", "anneal", "parallel-sim"}) {
+      engines.push_back(run_engine(nl, engine, options));
+    }
+
+    std::printf("%-10s %10.1f %10.1f %12.1f  ", name.c_str(), build_ms,
+                setup_ms, probe_ns);
+    for (const EngineReport& e : engines) {
+      std::printf("%s: %.0f | %.4f | %.3g   ", e.name.c_str(), e.wall_ms,
+                  e.best_cost, e.tt50_s);
+    }
+    std::printf("(probe sink %.3g)\n", sink);
+
+    // Machine-readable line for bench/dump_json.py (schema-validated there).
+    std::printf(
+        "MACRO {\"circuit\":\"%s\",\"gates\":%zu,\"nets\":%zu,\"pins\":%zu,"
+        "\"logic_depth\":%zu,\"build_ms\":%.3f,\"setup_ms\":%.3f,"
+        "\"probe_ns\":%.3f,\"engines\":{",
+        name.c_str(), nl.num_movable(), nl.num_nets(), nl.num_pins(),
+        nl.logic_depth(), build_ms, setup_ms, probe_ns);
+    for (std::size_t i = 0; i < engines.size(); ++i) {
+      const EngineReport& e = engines[i];
+      std::printf(
+          "%s\"%s\":{\"wall_ms\":%.3f,\"makespan_s\":%.6f,"
+          "\"initial_cost\":%.9g,\"best_cost\":%.9g,\"best_quality\":%.9g,"
+          "\"tt50_s\":%.6f}",
+          i == 0 ? "" : ",", e.name.c_str(), e.wall_ms, e.makespan_s,
+          e.initial_cost, e.best_cost, e.best_quality, e.tt50_s);
+    }
+    std::printf("}}\n");
+  }
+  return 0;
+}

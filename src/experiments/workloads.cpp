@@ -20,6 +20,12 @@ std::vector<std::string> circuit_names() {
   return names;
 }
 
+std::vector<std::string> scale_circuit_names() {
+  std::vector<std::string> names;
+  for (const auto& info : netlist::scale_benchmarks()) names.push_back(info.name);
+  return names;
+}
+
 parallel::PtsConfig base_config(const netlist::Netlist& netlist,
                                 std::uint64_t seed, bool quick) {
   parallel::PtsConfig config;

@@ -28,6 +28,10 @@ const netlist::Netlist& circuit(std::string_view name);
 /// Circuit names in the paper's size order.
 std::vector<std::string> circuit_names();
 
+/// Scale-tier circuit names (scale10k/scale50k/scale200k), smallest first —
+/// the workloads behind the `stress` CTest tier and the macro_scale bench.
+std::vector<std::string> scale_circuit_names();
+
 /// Base configuration for a circuit: paper defaults (4 TSWs, 1 CLW,
 /// half-force policy on the 12-machine cluster) with iteration budgets
 /// scaled to circuit size.

@@ -27,8 +27,18 @@ struct BenchmarkInfo {
 /// The four circuits of the paper's evaluation, smallest first.
 const std::vector<BenchmarkInfo>& paper_benchmarks();
 
+/// The scale-tier circuits (scale10k / scale50k / scale200k), smallest
+/// first: the same generator families as the paper circuits but 4x–90x
+/// larger, with pad counts and locality window scaled so fanin, net degree
+/// and logic depth stay representative as the gate count grows (the
+/// statistics contract in DESIGN.md §2). Generation is O(gates).
+const std::vector<BenchmarkInfo>& scale_benchmarks();
+
 /// True if `name` is one of the paper's circuits.
 bool is_paper_benchmark(std::string_view name);
+
+/// True if `name` is one of the scale-tier circuits.
+bool is_scale_benchmark(std::string_view name);
 
 /// Generator configuration used for a named benchmark (exposed so tests can
 /// perturb it).

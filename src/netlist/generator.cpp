@@ -117,21 +117,34 @@ Netlist generate_circuit(const GeneratorConfig& config) {
   // Remaining dangling nets: feed a later gate that still has fanin
   // capacity (keeps the graph acyclic because gate indices increase along
   // `gates` and respects max_fanin); otherwise sink them with extra POs.
+  //
+  // The scan fallback shares one monotone cursor across all dangling nets:
+  // gate fanins only ever grow, so a gate observed full stays full, and the
+  // dangling list is in ascending net order so `first_later` never
+  // decreases — the cursor finds the same first-gate-with-capacity a fresh
+  // forward scan would, in O(gates) amortized over the whole pass instead
+  // of O(gates) per net (the scale-tier circuits made the difference
+  // quadratic-vs-linear).
+  std::size_t scan_cursor = 0;
   for (std::size_t idx : dangling) {
     const std::size_t src_gate = net_source_gate[idx];
     const std::size_t first_later =
         src_gate == static_cast<std::size_t>(-1) ? 0 : src_gate + 1;
     std::size_t target = gates.size();
     if (first_later < gates.size()) {
-      // A few random probes, then a forward scan for spare capacity.
+      // A few random probes, then the cursor scan for spare capacity.
       const std::size_t span = gates.size() - first_later;
       for (int probe = 0; probe < 8 && target == gates.size(); ++probe) {
         const auto t = first_later + static_cast<std::size_t>(rng.below(span));
         if (fanin_of[t] < config.max_fanin) target = t;
       }
-      for (std::size_t t = first_later; t < gates.size() && target == gates.size();
-           ++t) {
-        if (fanin_of[t] < config.max_fanin) target = t;
+      if (target == gates.size()) {
+        scan_cursor = std::max(scan_cursor, first_later);
+        while (scan_cursor < gates.size() &&
+               fanin_of[scan_cursor] >= config.max_fanin) {
+          ++scan_cursor;
+        }
+        if (scan_cursor < gates.size()) target = scan_cursor;
       }
     }
     if (target < gates.size()) {

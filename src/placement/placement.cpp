@@ -56,8 +56,16 @@ void Placement::assign_slots(const std::vector<CellId>& cell_at_slot) {
   rebuild_all_rows();
 }
 
-double Placement::max_row_extent() const {
-  return *std::max_element(row_extent_.begin(), row_extent_.end());
+void Placement::rescan_max_extent() {
+  // First-max semantics, same value std::max_element would report.
+  max_extent_ = row_extent_[0];
+  max_extent_row_ = 0;
+  for (std::size_t row = 1; row < row_extent_.size(); ++row) {
+    if (row_extent_[row] > max_extent_) {
+      max_extent_ = row_extent_[row];
+      max_extent_row_ = row;
+    }
+  }
 }
 
 void Placement::rebuild_row(std::size_t row) {
@@ -72,10 +80,22 @@ void Placement::rebuild_row(std::size_t row) {
     x += w;
   }
   row_extent_[row] = x;
+  // Keep the cached max exact. Invariant: row_extent_[max_extent_row_] ==
+  // max_extent_ == max over all rows. A row growing past the max takes the
+  // crown; the crown row shrinking forces one O(rows) rescan (rare — only
+  // unequal-width swaps touching the widest row); a tie with the max needs
+  // nothing (the crown row still holds it).
+  if (x > max_extent_) {
+    max_extent_ = x;
+    max_extent_row_ = row;
+  } else if (row == max_extent_row_ && x < max_extent_) {
+    rescan_max_extent();
+  }
 }
 
 void Placement::rebuild_all_rows() {
   for (std::size_t row = 0; row < layout_->num_rows(); ++row) rebuild_row(row);
+  rescan_max_extent();
 }
 
 void Placement::swap_cells(CellId a, CellId b, std::vector<CellId>* moved_cells) {
@@ -156,6 +176,11 @@ void Placement::check_consistent() const {
   for (std::size_t row = 0; row < layout_->num_rows(); ++row) {
     PTS_CHECK(std::abs(fresh.row_extent_[row] - row_extent_[row]) < 1e-9);
   }
+  // The cached max the cost model reads must be the max a fresh scan finds.
+  PTS_CHECK(max_extent_ ==
+            *std::max_element(row_extent_.begin(), row_extent_.end()));
+  PTS_CHECK(max_extent_row_ < row_extent_.size());
+  PTS_CHECK(row_extent_[max_extent_row_] == max_extent_);
 }
 
 }  // namespace pts::placement

@@ -58,7 +58,10 @@ class Placement {
     return row_extent_[row];
   }
   /// Max row extent; the area objective is core_height() * max_row_extent.
-  double max_row_extent() const;
+  /// O(1): maintained incrementally across swaps (the cost evaluator reads
+  /// it once per probe, so an O(rows) scan here is an O(sqrt cells) tax on
+  /// every trial at scale). Bit-identical to a fresh max over row_extent().
+  double max_row_extent() const { return max_extent_; }
 
   /// Swaps the slots of two distinct movable cells and updates geometry.
   /// Appends every cell whose center moved (including a and b) to
@@ -85,6 +88,7 @@ class Placement {
  private:
   void rebuild_row(std::size_t row);
   void rebuild_all_rows();
+  void rescan_max_extent();
 
   const netlist::Netlist* netlist_;
   const netlist::Topology* topology_;  // SoA widths/flags for the hot paths
@@ -94,6 +98,8 @@ class Placement {
   std::vector<double> pos_x_;             // by cell id (pads fixed at build)
   std::vector<double> pos_y_;             // by cell id (pads fixed at build)
   std::vector<double> row_extent_;        // by row
+  double max_extent_ = 0.0;               // max of row_extent_, kept current
+  std::size_t max_extent_row_ = 0;        // first row holding max_extent_
 };
 
 }  // namespace pts::placement

@@ -2,17 +2,21 @@
 
 namespace pts::tabu {
 
-CompoundMove build_compound_move(cost::Evaluator& eval, const CellRange& range,
-                                 const CompoundParams& params, Rng& rng,
-                                 const FrequencyMemory* memory) {
+void build_compound_move(cost::Evaluator& eval, const CellRange& range,
+                         const CompoundParams& params, Rng& rng,
+                         const FrequencyMemory* memory, CompoundMove* out) {
   PTS_CHECK(params.width >= 1);
   PTS_CHECK(params.depth >= 1);
+  PTS_DCHECK(out != nullptr);
   const double start_cost = eval.cost();
   const bool use_memory = memory != nullptr && memory->active();
   const std::span<const netlist::CellId> movable =
       eval.placement().netlist().movable_cells();
 
-  CompoundMove compound;
+  CompoundMove& compound = *out;
+  compound.swaps.clear();
+  compound.swaps.reserve(params.depth);
+  compound.improved_early = false;
   compound.cost = start_cost;
   for (std::size_t level = 0; level < params.depth; ++level) {
     Move best{};
@@ -38,6 +42,13 @@ CompoundMove build_compound_move(cost::Evaluator& eval, const CellRange& range,
       break;
     }
   }
+}
+
+CompoundMove build_compound_move(cost::Evaluator& eval, const CellRange& range,
+                                 const CompoundParams& params, Rng& rng,
+                                 const FrequencyMemory* memory) {
+  CompoundMove compound;
+  build_compound_move(eval, range, params, rng, memory, &compound);
   return compound;
 }
 

@@ -29,9 +29,16 @@ struct CompoundParams {
 };
 
 /// Builds and applies a compound move on `eval`, sampling first cells from
-/// `range`. Returns the applied swaps and final cost. When `memory` is
+/// `range`, writing the applied swaps and final cost into `*out` (cleared
+/// first). Callers that run every iteration (TabuSearch) pass a reused
+/// member buffer so the steady state does not allocate. When `memory` is
 /// non-null and active, per-level trial ranking uses the long-term
 /// frequency adjustment (true costs are still what the move reports).
+void build_compound_move(cost::Evaluator& eval, const CellRange& range,
+                         const CompoundParams& params, Rng& rng,
+                         const FrequencyMemory* memory, CompoundMove* out);
+
+/// Convenience wrapper returning a fresh CompoundMove.
 CompoundMove build_compound_move(cost::Evaluator& eval, const CellRange& range,
                                  const CompoundParams& params, Rng& rng,
                                  const FrequencyMemory* memory = nullptr);

@@ -41,8 +41,11 @@ void TabuSearch::note_external_solution() { update_best(); }
 bool TabuSearch::iterate(const CellRange& range) {
   ++stats_.iterations;
   const double cost_before = eval_->cost();
-  const CompoundMove move =
-      build_compound_move(*eval_, range, params_.compound, rng_, &frequency_);
+  // `move_scratch_` is reused across iterations so the steady-state loop
+  // does not allocate (stress_test pins this at 50k gates).
+  build_compound_move(*eval_, range, params_.compound, rng_, &frequency_,
+                      &move_scratch_);
+  const CompoundMove& move = move_scratch_;
   if (move.improved_early) ++stats_.early_accepts;
 
   if (compound_is_tabu(list_, move)) {

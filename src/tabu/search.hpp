@@ -117,6 +117,7 @@ class TabuSearch {
   cost::Objectives best_objectives_;
   std::vector<netlist::CellId> best_slots_;
   SearchStats stats_;
+  CompoundMove move_scratch_;  ///< reused per-iteration move buffer
 };
 
 }  // namespace pts::tabu

@@ -66,6 +66,37 @@ INSTANTIATE_TEST_SUITE_P(
         PolicyCase{CollectionPolicy::HalfForce, 1.0, 8, 8},
         PolicyCase{CollectionPolicy::HalfForce, 0.0, 8, 1}));  // clamped to 1
 
+// Boundary sweep: threshold * children landing exactly on an integer must
+// not gain a spurious ceil bump (the integral product is reachable both
+// from exact binary fractions like 0.25 and from products whose FP
+// rounding lands on the integer, like 0.1*10 and (1/3)*3); extremes and
+// the single-child parent clamp to [1, children].
+INSTANTIATE_TEST_SUITE_P(
+    Boundary, PolicyMath,
+    ::testing::Values(
+        // Exactly integral products — no ceil bump.
+        PolicyCase{CollectionPolicy::HalfForce, 0.5, 8, 4},
+        PolicyCase{CollectionPolicy::HalfForce, 0.25, 4, 1},
+        PolicyCase{CollectionPolicy::HalfForce, 0.75, 4, 3},
+        PolicyCase{CollectionPolicy::HalfForce, 0.1, 10, 1},   // FP-exact 1.0
+        PolicyCase{CollectionPolicy::HalfForce, 1.0 / 3.0, 3, 1},
+        PolicyCase{CollectionPolicy::HalfForce, 2.0 / 3.0, 3, 2},
+        PolicyCase{CollectionPolicy::HalfForce, 0.3, 10, 3},       // FP-exact 3.0
+        PolicyCase{CollectionPolicy::HalfForce, 0.51, 100, 51},    // FP-exact 51.0
+        // Genuinely fractional products ceil upward.
+        PolicyCase{CollectionPolicy::HalfForce, 1.0 / 3.0, 4, 2},  // ceil(1.33)
+        PolicyCase{CollectionPolicy::HalfForce, 0.51, 10, 6},      // ceil(5.1)
+        PolicyCase{CollectionPolicy::HalfForce, 0.29, 10, 3},      // ceil(2.9)
+        // Documented FP hazard: 0.07*100 rounds to 7.000000000000001, one
+        // ulp above the exact-math product, so the ceil lands at 8. Pinned
+        // so a future "fix" is a conscious contract change.
+        PolicyCase{CollectionPolicy::HalfForce, 0.07, 100, 8},
+        // Extremes with a single child and the clamp rails.
+        PolicyCase{CollectionPolicy::HalfForce, 0.0, 1, 1},
+        PolicyCase{CollectionPolicy::HalfForce, 1.0, 1, 1},
+        PolicyCase{CollectionPolicy::HalfForce, 0.5, 2, 1},
+        PolicyCase{CollectionPolicy::WaitAll, 0.0, 8, 8}));  // policy ignores it
+
 // ---------------------------------------------------------------------------
 // ClwSearch.
 
