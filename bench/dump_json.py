@@ -6,8 +6,8 @@ throughput benches (BM_ProbeCsr / BM_ProbeVecOfVec / BM_ProbeSwap /
 BM_ApplySwap) keyed by circuit, and writes a small JSON file with ns/op per
 bench plus the CSR-vs-vector-of-vectors speedup per circuit. With --macro it
 additionally runs `macro_scale --smoke` and folds its per-circuit scale
-report (build/setup/probe times and the short tabu/anneal/parallel-sim runs)
-into the output. CI runs this on every push and uploads the result as an
+report (build/setup/probe times, the short engine runs, and the
+parallel-shared strong-scaling counters at 1/2/4/8 threads) into the output. CI runs this on every push and uploads the result as an
 artifact (BENCH_baseline.json), so future PRs have a trajectory of
 throughput numbers to compare against; the checked-in
 bench/BENCH_baseline.json is the snapshot taken when the CSR topology
@@ -31,10 +31,12 @@ TRACKED_PREFIXES = ("BM_ProbeCsr", "BM_ProbeVecOfVec", "BM_ProbeSwap",
                     "BM_ApplySwap")
 
 MACRO_KEYS = ("circuit", "gates", "nets", "pins", "logic_depth", "build_ms",
-              "setup_ms", "probe_ns", "engines")
-MACRO_ENGINES = ("tabu", "anneal", "parallel-sim")
+              "setup_ms", "probe_ns", "engines", "shared_scaling")
+MACRO_ENGINES = ("tabu", "anneal", "parallel-sim", "parallel-shared")
 MACRO_ENGINE_KEYS = ("wall_ms", "makespan_s", "initial_cost", "best_cost",
                      "best_quality", "tt50_s")
+SCALING_THREADS = ("1", "2", "4", "8")
+SCALING_KEYS = ("makespan_s", "trials_per_s", "speedup_vs_1")
 
 
 def fail(message):
@@ -111,6 +113,21 @@ def run_macro(binary):
             if absent:
                 fail(f"MACRO entry {entry['circuit']} engine {engine} "
                      f"missing counters {absent}")
+        for threads in SCALING_THREADS:
+            if threads not in entry["shared_scaling"]:
+                fail(f"MACRO entry {entry['circuit']} shared_scaling missing "
+                     f"thread count {threads}")
+            point = entry["shared_scaling"][threads]
+            absent = [k for k in SCALING_KEYS if k not in point]
+            if absent:
+                fail(f"MACRO entry {entry['circuit']} shared_scaling[{threads}]"
+                     f" missing counters {absent}")
+            if not point["trials_per_s"] > 0:
+                fail(f"MACRO entry {entry['circuit']} shared_scaling[{threads}]"
+                     f" non-positive trials_per_s")
+            if not point["speedup_vs_1"] > 0:
+                fail(f"MACRO entry {entry['circuit']} shared_scaling[{threads}]"
+                     f" non-positive speedup_vs_1")
         if not entry["build_ms"] > 0:
             fail(f"MACRO entry {entry['circuit']} non-positive build_ms")
         report[entry["circuit"]] = entry
@@ -149,8 +166,13 @@ def main():
     print(f"wrote {args.output}: probe speedup per circuit {speedup}")
     if args.macro:
         for circuit, entry in sorted(result["macro_scale"].items()):
+            scaling = entry["shared_scaling"]
+            speedups = ", ".join(
+                f"{t}T {scaling[t]['speedup_vs_1']:.2f}x"
+                for t in SCALING_THREADS)
             print(f"  {circuit}: build {entry['build_ms']:.0f} ms, "
-                  f"probe {entry['probe_ns']:.0f} ns/op")
+                  f"probe {entry['probe_ns']:.0f} ns/op, "
+                  f"shared scaling {speedups}")
     return 0
 
 

@@ -5,11 +5,16 @@
 //   build      netlist generation + finalize (CSR topology) wall time
 //   setup      layout + random placement + K-paths + evaluator construction
 //   probe      steady-state trial-probe throughput (the search inner loop)
-//   engines    a short tabu / anneal / parallel-sim run through the solver
-//              front door: wall time, makespan (virtual seconds for
-//              parallel-sim), cost before/after, and tt50 — the engine-clock
-//              instant the run had realized half of its own improvement
-//              (only parallel engines record a best-vs-time series).
+//   engines    a short tabu / anneal / parallel-sim / parallel-shared run
+//              through the solver front door: wall time, makespan (virtual
+//              seconds for parallel-sim), cost before/after, and tt50 — the
+//              engine-clock instant the run had realized half of its own
+//              improvement.
+//   scaling    strong-scaling counters for the shared-memory backend: the
+//              same parallel-shared run at 1/2/4/8 threads, reporting trial
+//              throughput (probes/s) and speedup vs its own 1-thread run.
+//              The trajectory is thread-count invariant, so every point
+//              does identical work — the ratio isolates parallel efficiency.
 //
 // Tiers follow bench_common: --smoke (CI; scale10k only, clamped budgets),
 // default (scale10k + scale50k), --full (adds scale200k). --circuit
@@ -17,6 +22,7 @@
 //
 // Each circuit additionally emits one `MACRO {json}` line; bench/dump_json.py
 // parses and schema-validates those into the BENCH_*.json perf trail.
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -43,8 +49,9 @@ struct EngineReport {
   double tt50_s = -1.0;  ///< engine clock to half of the run's improvement
 };
 
-EngineReport run_engine(const netlist::Netlist& nl, const std::string& engine,
-                        const bench::BenchOptions& options) {
+solver::SolveSpec engine_spec(const netlist::Netlist& nl,
+                              const std::string& engine,
+                              const bench::BenchOptions& options) {
   solver::SolveSpec spec = experiments::base_spec(nl, engine, /*seed=*/1,
                                                   /*quick=*/true);
   // Short fixed budgets: the point is "completes and improves at scale",
@@ -55,7 +62,12 @@ EngineReport run_engine(const netlist::Netlist& nl, const std::string& engine,
   spec.anneal.cooling = 0.80;
   spec.anneal.trace_stride = 0;
   bench::apply_scale(spec.parallel, options);
+  return spec;
+}
 
+EngineReport run_engine(const netlist::Netlist& nl, const std::string& engine,
+                        const bench::BenchOptions& options) {
+  const solver::SolveSpec spec = engine_spec(nl, engine, options);
   EngineReport report;
   report.name = engine;
   const Stopwatch watch;
@@ -70,6 +82,35 @@ EngineReport run_engine(const netlist::Netlist& nl, const std::string& engine,
         experiments::improvement_threshold(result, 0.5));
   }
   return report;
+}
+
+struct ScalingPoint {
+  std::size_t threads = 1;
+  double makespan_s = 0.0;
+  double trials_per_s = 0.0;
+  double speedup_vs_1 = 1.0;
+};
+
+// Strong scaling for the shared-memory backend: identical search (the
+// trajectory is thread-count invariant) timed at each thread count, so the
+// throughput ratio is pure parallel efficiency.
+std::vector<ScalingPoint> run_shared_scaling(const netlist::Netlist& nl,
+                                             const bench::BenchOptions& options) {
+  std::vector<ScalingPoint> points;
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    solver::SolveSpec spec = engine_spec(nl, "parallel-shared", options);
+    spec.shared.threads = threads;
+    const solver::SolveResult result = solver::Solver().solve(spec);
+    ScalingPoint point;
+    point.threads = threads;
+    point.makespan_s = result.makespan;
+    point.trials_per_s = static_cast<double>(result.stats.trials) /
+                         std::max(result.makespan, 1e-9);
+    point.speedup_vs_1 =
+        points.empty() ? 1.0 : point.trials_per_s / points.front().trials_per_s;
+    points.push_back(point);
+  }
+  return points;
 }
 
 }  // namespace
@@ -130,9 +171,11 @@ int main(int argc, char** argv) {
     const double probe_ns = watch.seconds() * 1e9 / static_cast<double>(probes);
 
     std::vector<EngineReport> engines;
-    for (const char* engine : {"tabu", "anneal", "parallel-sim"}) {
+    for (const char* engine :
+         {"tabu", "anneal", "parallel-sim", "parallel-shared"}) {
       engines.push_back(run_engine(nl, engine, options));
     }
+    const std::vector<ScalingPoint> scaling = run_shared_scaling(nl, options);
 
     std::printf("%-10s %10.1f %10.1f %12.1f  ", name.c_str(), build_ms,
                 setup_ms, probe_ns);
@@ -141,6 +184,12 @@ int main(int argc, char** argv) {
                   e.best_cost, e.tt50_s);
     }
     std::printf("(probe sink %.3g)\n", sink);
+    std::printf("%-10s shared scaling:", "");
+    for (const ScalingPoint& p : scaling) {
+      std::printf("  %zuT %.3gx (%.3g trials/s)", p.threads, p.speedup_vs_1,
+                  p.trials_per_s);
+    }
+    std::printf("\n");
 
     // Machine-readable line for bench/dump_json.py (schema-validated there).
     std::printf(
@@ -157,6 +206,15 @@ int main(int argc, char** argv) {
           "\"tt50_s\":%.6f}",
           i == 0 ? "" : ",", e.name.c_str(), e.wall_ms, e.makespan_s,
           e.initial_cost, e.best_cost, e.best_quality, e.tt50_s);
+    }
+    std::printf("},\"shared_scaling\":{");
+    for (std::size_t i = 0; i < scaling.size(); ++i) {
+      const ScalingPoint& p = scaling[i];
+      std::printf(
+          "%s\"%zu\":{\"makespan_s\":%.6f,\"trials_per_s\":%.3f,"
+          "\"speedup_vs_1\":%.4f}",
+          i == 0 ? "" : ",", p.threads, p.makespan_s, p.trials_per_s,
+          p.speedup_vs_1);
     }
     std::printf("}}\n");
   }

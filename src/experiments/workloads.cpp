@@ -1,5 +1,6 @@
 #include "experiments/workloads.hpp"
 
+#include <cmath>
 #include <map>
 
 namespace pts::experiments {
@@ -44,6 +45,20 @@ parallel::PtsConfig base_config(const netlist::Netlist& netlist,
   // Iteration budgets grow with circuit size (the paper fixes them per
   // circuit but does not publish the values).
   const std::size_t n = netlist.num_movable();
+
+  // Above the paper's largest circuit the paper constants starve the
+  // search: 8 trials per level against 10k+ cells almost never finds an
+  // improving swap, so tabu used to report tt50 = -1 (never reached half
+  // its own improvement) on the scale tier. Tenure and candidate width
+  // scale with ~sqrt(movable cells) instead; paper-sized circuits keep the
+  // paper constants exactly, so every pinned paper-circuit trajectory is
+  // untouched.
+  const std::size_t paper_max = netlist::paper_benchmarks().back().cells;
+  if (n > paper_max) {
+    const double root = std::sqrt(static_cast<double>(n));
+    config.tabu.tenure = static_cast<std::size_t>(root / 2.0);
+    config.tabu.compound.width = static_cast<std::size_t>(root);
+  }
   if (quick) {
     config.global_iterations = 4;
     config.local_iterations = n < 100 ? 4 : 6;

@@ -34,7 +34,10 @@ std::vector<std::string> scale_circuit_names();
 
 /// Base configuration for a circuit: paper defaults (4 TSWs, 1 CLW,
 /// half-force policy on the 12-machine cluster) with iteration budgets
-/// scaled to circuit size.
+/// scaled to circuit size. Above the paper's largest circuit, tabu tenure
+/// and candidate width additionally scale with ~sqrt(movable cells) —
+/// the paper's small-circuit constants starve the search at 10k+ gates
+/// (paper-sized circuits keep the exact paper constants).
 parallel::PtsConfig base_config(const netlist::Netlist& netlist,
                                 std::uint64_t seed = 1, bool quick = true);
 

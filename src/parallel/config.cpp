@@ -2,12 +2,26 @@
 
 namespace pts::parallel {
 
+std::size_t clamp_workers(std::size_t requested, std::size_t num_movable) {
+  const std::size_t cap = num_movable >= 1 ? num_movable : 1;
+  if (requested < 1) return 1;
+  return requested < cap ? requested : cap;
+}
+
 SearchSetup::SearchSetup(const netlist::Netlist& nl, const PtsConfig& cfg)
     : netlist(&nl), config(cfg), layout(nl) {
   PTS_CHECK(config.num_tsws >= 1);
   PTS_CHECK(config.clws_per_tsw >= 1);
   PTS_CHECK(config.local_iterations >= 1);
   PTS_CHECK(config.global_iterations >= 1);
+
+  // Oversubscription guard: partition_cells(n, workers) with workers > n
+  // emits empty ranges, and sample_move aborts on an empty range. More
+  // workers than movable cells cannot do useful work anyway, so both
+  // engines run the clamped counts (this stored config is the one they
+  // read their worker counts from).
+  config.num_tsws = clamp_workers(config.num_tsws, nl.num_movable());
+  config.clws_per_tsw = clamp_workers(config.clws_per_tsw, nl.num_movable());
 
   Rng rng(config.seed);
   const auto initial = placement::Placement::random(nl, layout, rng);

@@ -37,6 +37,20 @@ struct SimCosts {
   double tsw_activity = 0.15;
 };
 
+/// Parameters of the shared-memory backend ("parallel-shared"). Lives here
+/// (not in shared_engine.hpp) so SolveSpec can embed it without pulling the
+/// engine into the solver header.
+struct SharedParams {
+  /// Worker threads sharing the candidate evaluation; clamped to the number
+  /// of movable cells (and to >= 1) by the engine. Results are independent
+  /// of the thread count (see shared_engine.hpp), so this is purely a
+  /// throughput knob.
+  std::size_t threads = 4;
+  /// Trials claimed per counter grab in the parallel region; 0 picks a
+  /// chunk that spreads the level's width over the pool.
+  std::size_t chunk = 0;
+};
+
 struct PtsConfig {
   /// High-level parallelization degree (multi-search threads).
   std::size_t num_tsws = 4;
@@ -108,7 +122,10 @@ struct PtsResult {
 };
 
 /// Immutable per-run setup shared by all workers of one search: layout,
-/// initial solution, monitored paths, calibrated goals.
+/// initial solution, monitored paths, calibrated goals. The stored config
+/// has num_tsws / clws_per_tsw clamped to the movable-cell count (and to
+/// >= 1): more workers than cells would give some of them empty
+/// partition_cells ranges, which sample_move refuses.
 struct SearchSetup {
   SearchSetup(const netlist::Netlist& netlist, const PtsConfig& config);
 

@@ -1,4 +1,4 @@
-// The six built-in engines behind pts::solver::Solver. Each adapter owns
+// The built-in engines behind pts::solver::Solver. Each adapter owns
 // the full recipe for its engine — setup, seeding, run control, and the
 // mapping of the native result type into SolveResult — so a Solver run is
 // bit-identical to the equivalent direct engine invocation (pinned by
@@ -8,6 +8,7 @@
 #include "baselines/annealing.hpp"
 #include "baselines/constructive.hpp"
 #include "baselines/local_search.hpp"
+#include "parallel/shared_engine.hpp"
 #include "parallel/sim_engine.hpp"
 #include "parallel/threaded_engine.hpp"
 #include "solver/solver.hpp"
@@ -119,6 +120,7 @@ class TabuEngine final : public Engine {
     out.best_slots = std::move(r.best_slots);
     out.cost_trace = std::move(r.cost_trace);
     out.best_trace = std::move(r.best_trace);
+    out.best_vs_time = std::move(r.best_vs_time);
     out.stats = r.stats;
     out.iterations = r.stats.iterations;
     out.stop_reason = r.stop_reason;
@@ -285,6 +287,52 @@ class ParallelThreadedEngine final : public Engine {
   }
 };
 
+class ParallelSharedEngine final : public Engine {
+ public:
+  std::string_view name() const override { return "parallel-shared"; }
+  std::string_view description() const override {
+    return "shared-memory parallel tabu search over the CSR topology";
+  }
+
+  void validate(const SolveSpec& spec,
+                std::vector<std::string>& errors) const override {
+    validate_tabu_params(spec.tabu, errors);
+    if (spec.tabu.iterations < 1) {
+      errors.push_back("tabu.iterations must be >= 1");
+    }
+    if (spec.shared.threads < 1) {
+      errors.push_back("shared.threads must be >= 1");
+    }
+  }
+
+  SolveResult solve(const SolveSpec& spec) const override {
+    parallel::SharedConfig config;
+    config.params = spec.shared;
+    config.tabu = spec.tabu;
+    config.cost = spec.cost;
+    // The sequential seed salts: a 1-thread run is bit-identical to the
+    // "tabu" engine with the same spec.seed (pinned by shared_engine_test).
+    config.init_seed = spec.seed ^ kInitStreamSalt;
+    config.search_seed = spec.seed ^ kSearchStreamSalt;
+    parallel::SharedEngine engine(*spec.netlist, config);
+    auto r = engine.run(RunControl{spec.stop, spec.observer});
+    SolveResult out;
+    out.initial_cost = r.initial_cost;
+    out.best_cost = r.search.best_cost;
+    out.best_quality = r.search.best_quality;
+    out.best_objectives = r.search.best_objectives;
+    out.best_slots = std::move(r.search.best_slots);
+    out.cost_trace = std::move(r.search.cost_trace);
+    out.best_trace = std::move(r.search.best_trace);
+    out.best_vs_time = std::move(r.search.best_vs_time);
+    out.stats = r.search.stats;
+    out.iterations = r.search.stats.iterations;
+    out.makespan = r.makespan;
+    out.stop_reason = r.search.stop_reason;
+    return out;
+  }
+};
+
 void validate_parallel(const SolveSpec& spec,
                        std::vector<std::string>& errors) {
   const auto& p = spec.parallel;
@@ -328,6 +376,7 @@ std::vector<std::unique_ptr<Engine>> make_builtin_engines() {
   engines.push_back(std::make_unique<ConstructiveEngine>());
   engines.push_back(std::make_unique<ParallelSimEngine>());
   engines.push_back(std::make_unique<ParallelThreadedEngine>());
+  engines.push_back(std::make_unique<ParallelSharedEngine>());
   return engines;
 }
 

@@ -17,6 +17,7 @@
 //   "constructive"      greedy constructive placement (no search)
 //   "parallel-sim"      TSW/CLW decomposition, deterministic virtual time
 //   "parallel-threaded" TSW/CLW decomposition on the PVM-like runtime
+//   "parallel-shared"   shared-memory threads over the CSR topology
 //
 // The spec is validated before anything runs: Solver::validate() returns
 // the full list of problems (empty = valid) so callers can report them;
@@ -85,6 +86,10 @@ struct SolveSpec {
   /// `tabu` blocks above are authoritative: they overwrite the copies
   /// nested inside this config when the run starts.
   parallel::PtsConfig parallel;
+  /// "parallel-shared" — thread count and chunking of the shared-memory
+  /// backend (it reuses the `tabu` block as its search parameters and the
+  /// sequential seed salts, so a 1-thread run is bit-identical to "tabu").
+  parallel::SharedParams shared;
 
   // -- run control --------------------------------------------------------
   StopConditions stop;
@@ -106,7 +111,7 @@ struct SolveResult {
 
   Series cost_trace;      ///< "tabu": current cost per traced iteration
   Series best_trace;      ///< sequential engines: best cost per iteration
-  Series best_vs_time;    ///< parallel engines: best vs engine clock
+  Series best_vs_time;    ///< best vs engine clock (tabu-family + parallel)
   Series best_vs_global;  ///< parallel engines: best per global iteration
 
   tabu::SearchStats stats;     ///< tabu-family engines (anneal maps moves)

@@ -43,15 +43,17 @@ bool TabuSearch::iterate(const CellRange& range) {
   const double cost_before = eval_->cost();
   // `move_scratch_` is reused across iterations so the steady-state loop
   // does not allocate (stress_test pins this at 50k gates).
-  build_compound_move(*eval_, range, params_.compound, rng_, &frequency_,
-                      &move_scratch_);
+  strategy().build(*eval_, range, params_.compound, rng_, &frequency_,
+                   &move_scratch_);
   const CompoundMove& move = move_scratch_;
+  // Each built level probed `width` trials (early accept skips the rest).
+  stats_.trials += params_.compound.width * move.swaps.size();
   if (move.improved_early) ++stats_.early_accepts;
 
   if (compound_is_tabu(list_, move)) {
     const bool aspirated = params_.aspiration && move.cost < best_cost_;
     if (!aspirated) {
-      undo_compound(*eval_, move);
+      strategy().undo(*eval_, move);
       ++stats_.rejected_tabu;
       return false;
     }
@@ -72,7 +74,9 @@ SearchResult TabuSearch::run(const RunControl& control) {
   SearchResult result;
   result.cost_trace.name = "cost";
   result.best_trace.name = "best";
+  result.best_vs_time.name = "best_vs_time";
   const Stopwatch watch;
+  result.best_vs_time.add(0.0, best_cost_);
   for (std::size_t iter = 0; iter < params_.iterations; ++iter) {
     if (const auto reason =
             control.should_stop(iter, control.needs_clock() ? watch.seconds() : 0.0,
@@ -82,6 +86,12 @@ SearchResult TabuSearch::run(const RunControl& control) {
     }
     const double prev_best = best_cost_;
     iterate(range);
+    // Time-to-quality trail (tt50 in macro_scale): one point per adopted
+    // best. Reading the wall clock here is observation only — it cannot
+    // perturb the search (DESIGN.md §5's read-only rule).
+    if (best_cost_ < prev_best) {
+      result.best_vs_time.add(watch.seconds(), best_cost_);
+    }
     if (params_.trace_stride != 0 && iter % params_.trace_stride == 0) {
       result.cost_trace.add(static_cast<double>(iter), eval_->cost());
       result.best_trace.add(static_cast<double>(iter), best_cost_);

@@ -45,6 +45,9 @@ struct SearchStats {
   std::size_t rejected_tabu = 0;
   std::size_t aspirated = 0;
   std::size_t early_accepts = 0;
+  /// Candidate trial swaps probed (width x levels built); the work unit the
+  /// strong-scaling counters are expressed in.
+  std::size_t trials = 0;
 
   void merge(const SearchStats& other) {
     iterations += other.iterations;
@@ -52,6 +55,7 @@ struct SearchStats {
     rejected_tabu += other.rejected_tabu;
     aspirated += other.aspirated;
     early_accepts += other.early_accepts;
+    trials += other.trials;
   }
 };
 
@@ -63,6 +67,10 @@ struct SearchResult {
   std::vector<netlist::CellId> best_slots;
   Series cost_trace;  ///< current cost per traced iteration
   Series best_trace;  ///< best cost per traced iteration
+  /// Best-so-far vs wall seconds; starts at (0, initial cost), one point per
+  /// improvement. The y values are deterministic for a fixed seed; the x
+  /// values are wall-clock measurements.
+  Series best_vs_time;
   SearchStats stats;
   /// Completed unless a caller-supplied stop condition fired first.
   StopReason stop_reason = StopReason::Completed;
@@ -73,6 +81,30 @@ bool compound_is_tabu(const TabuList& list, const CompoundMove& move);
 
 /// Records every constituent swap of an accepted compound move.
 void record_compound(TabuList& list, const CompoundMove& move);
+
+/// How TabuSearch::iterate builds (and, on tabu rejection, reverts) a
+/// compound move. The default forwards to build_compound_move /
+/// undo_compound; the shared-memory engine substitutes a strategy that
+/// evaluates each level's trials on a thread pool. Implementations must
+/// preserve the sequential contract bit for bit: identical RNG consumption
+/// order, identical winner per level (first strict minimum in trial index
+/// order), and an evaluator state after build/undo bit-identical to the
+/// sequential path — that is what keeps every TabuSearch guarantee
+/// (same-seed determinism, trace parity) independent of the strategy.
+class CompoundStrategy {
+ public:
+  virtual ~CompoundStrategy() = default;
+
+  virtual void build(cost::Evaluator& eval, const CellRange& range,
+                     const CompoundParams& params, Rng& rng,
+                     const FrequencyMemory* memory, CompoundMove* out) {
+    build_compound_move(eval, range, params, rng, memory, out);
+  }
+
+  virtual void undo(cost::Evaluator& eval, const CompoundMove& move) {
+    undo_compound(eval, move);
+  }
+};
 
 class TabuSearch {
  public:
@@ -104,8 +136,18 @@ class TabuSearch {
   /// evaluator's solution (broadcast of a new global best).
   void note_external_solution();
 
+  /// Overrides how iterate() builds/undoes compound moves (not owned; null
+  /// restores the default). See CompoundStrategy for the contract.
+  void set_compound_strategy(CompoundStrategy* strategy) {
+    strategy_ = strategy;
+  }
+
  private:
   void update_best();
+
+  CompoundStrategy& strategy() {
+    return strategy_ != nullptr ? *strategy_ : default_strategy_;
+  }
 
   cost::Evaluator* eval_;
   TabuParams params_;
@@ -118,6 +160,8 @@ class TabuSearch {
   std::vector<netlist::CellId> best_slots_;
   SearchStats stats_;
   CompoundMove move_scratch_;  ///< reused per-iteration move buffer
+  CompoundStrategy default_strategy_;
+  CompoundStrategy* strategy_ = nullptr;  ///< not owned; null = default
 };
 
 }  // namespace pts::tabu

@@ -98,7 +98,8 @@ TEST(Stress, Scale50kBuildsAndStaysCircuitLike) {
 
 TEST(Stress, AllEnginesCompleteShortRunsAt50k) {
   const Netlist& nl = scale50k();
-  for (const char* engine : {"tabu", "anneal", "local", "parallel-sim"}) {
+  for (const char* engine :
+       {"tabu", "anneal", "local", "parallel-sim", "parallel-shared"}) {
     SCOPED_TRACE(engine);
     solver::SolveSpec spec = experiments::base_spec(nl, engine, /*seed=*/3,
                                                     /*quick=*/true);
@@ -111,6 +112,7 @@ TEST(Stress, AllEnginesCompleteShortRunsAt50k) {
     spec.local.trace_stride = 0;
     spec.parallel.global_iterations = 2;
     spec.parallel.local_iterations = 2;
+    spec.shared.threads = 8;
 
     const solver::SolveResult result = solver::Solver().solve(spec);
     EXPECT_LE(result.best_cost, result.initial_cost);
