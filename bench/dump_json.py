@@ -3,8 +3,9 @@
 
 Runs `micro_core --smoke --benchmark_format=json`, extracts the probe
 throughput benches (BM_ProbeCsr / BM_ProbeVecOfVec / BM_ProbeSwap /
-BM_ApplySwap) keyed by circuit, and writes a small JSON file with ns/op per
-bench plus the CSR-vs-vector-of-vectors speedup per circuit. With --macro it
+BM_ApplySwap / BM_ProbeBatch{4,8,16,32}) keyed by circuit, and writes a
+small JSON file with ns per candidate per bench plus the
+CSR-vs-vector-of-vectors and batch8-vs-scalar probe speedups per circuit. With --macro it
 additionally runs `macro_scale --smoke` and folds its per-circuit scale
 report (build/setup/probe times, the short engine runs, and the
 parallel-shared strong-scaling counters at 1/2/4/8 threads) into the output. CI runs this on every push and uploads the result as an
@@ -28,10 +29,18 @@ import subprocess
 import sys
 
 TRACKED_PREFIXES = ("BM_ProbeCsr", "BM_ProbeVecOfVec", "BM_ProbeSwap",
-                    "BM_ApplySwap")
+                    "BM_ApplySwap", "BM_ProbeBatch4", "BM_ProbeBatch8",
+                    "BM_ProbeBatch16", "BM_ProbeBatch32")
+
+# One BM_ProbeBatchN iteration scores N candidates; real_time is divided by
+# the width so every tracked number is ns per candidate, comparable with
+# BM_ProbeSwap.
+BATCH_WIDTHS = {"BM_ProbeBatch4": 4, "BM_ProbeBatch8": 8,
+                "BM_ProbeBatch16": 16, "BM_ProbeBatch32": 32}
 
 MACRO_KEYS = ("circuit", "gates", "nets", "pins", "logic_depth", "build_ms",
-              "setup_ms", "probe_ns", "engines", "shared_scaling")
+              "setup_ms", "probe_ns", "batch_probe_ns", "batch_speedup",
+              "engines", "shared_scaling")
 MACRO_ENGINES = ("tabu", "anneal", "parallel-sim", "parallel-shared")
 MACRO_ENGINE_KEYS = ("wall_ms", "makespan_s", "initial_cost", "best_cost",
                      "best_quality", "tt50_s")
@@ -65,7 +74,8 @@ def parse_micro(raw):
         circuit = label.split()[0]
         if "real_time" not in entry:
             fail(f"micro bench {name} has no real_time counter")
-        benches.setdefault(bench, {})[circuit] = round(entry["real_time"], 2)
+        per_item = entry["real_time"] / BATCH_WIDTHS.get(bench, 1)
+        benches.setdefault(bench, {})[circuit] = round(per_item, 2)
     # Schema: every tracked bench present, every bench covering the same
     # non-empty circuit set, every timing positive.
     missing = [b for b in TRACKED_PREFIXES if b not in benches]
@@ -130,6 +140,10 @@ def run_macro(binary):
                      f" non-positive speedup_vs_1")
         if not entry["build_ms"] > 0:
             fail(f"MACRO entry {entry['circuit']} non-positive build_ms")
+        if not entry["batch_probe_ns"] > 0:
+            fail(f"MACRO entry {entry['circuit']} non-positive batch_probe_ns")
+        if not entry["batch_speedup"] > 0:
+            fail(f"MACRO entry {entry['circuit']} non-positive batch_speedup")
         report[entry["circuit"]] = entry
     return report
 
@@ -151,12 +165,19 @@ def main():
     for circuit in sorted(set(csr) & set(vov)):
         speedup[circuit] = round(vov[circuit] / csr[circuit], 3)
 
+    batch_speedup = {}
+    swap = benches["BM_ProbeSwap"]
+    batch8 = benches["BM_ProbeBatch8"]
+    for circuit in sorted(set(swap) & set(batch8)):
+        batch_speedup[circuit] = round(swap[circuit] / batch8[circuit], 3)
+
     result = {
         "source": "micro_core --smoke (google-benchmark)",
-        "unit": "ns/op (real time)",
+        "unit": "ns per candidate (real time; batch benches divided by width)",
         "context": raw.get("context", {}),
         "benchmarks": benches,
         "probe_speedup_csr_vs_vecofvec": speedup,
+        "probe_batch_speedup": batch_speedup,
     }
     if args.macro:
         result["macro_scale"] = run_macro(args.macro)
@@ -164,6 +185,7 @@ def main():
         json.dump(result, f, indent=2, sort_keys=True)
         f.write("\n")
     print(f"wrote {args.output}: probe speedup per circuit {speedup}")
+    print(f"  batch8-vs-scalar probe speedup {batch_speedup}")
     if args.macro:
         for circuit, entry in sorted(result["macro_scale"].items()):
             scaling = entry["shared_scaling"]

@@ -170,6 +170,34 @@ int main(int argc, char** argv) {
     }
     const double probe_ns = watch.seconds() * 1e9 / static_cast<double>(probes);
 
+    // Batched probe throughput at the production batch width (the same
+    // candidate distribution, scored through Evaluator::probe_batch eight
+    // at a time — the width base_config plumbs into every candidate loop).
+    const std::size_t batch_width = 8;
+    std::vector<cost::Move> batch_moves(batch_width);
+    std::vector<double> batch_costs(batch_width);
+    const auto fill_batch = [&] {
+      for (std::size_t w = 0; w < batch_width; ++w) {
+        const auto [ia, ib] = probe_rng.distinct_pair(movable.size());
+        batch_moves[w] = {movable[ia], movable[ib]};
+      }
+    };
+    for (std::size_t i = 0; i < warmup / batch_width; ++i) {
+      fill_batch();
+      eval.probe_batch(batch_moves, batch_costs);
+    }
+    const std::size_t batch_rounds = probes / batch_width;
+    watch.reset();
+    for (std::size_t i = 0; i < batch_rounds; ++i) {
+      fill_batch();
+      eval.probe_batch(batch_moves, batch_costs);
+      sink += batch_costs[0];
+    }
+    const double batch_probe_ns =
+        watch.seconds() * 1e9 /
+        static_cast<double>(batch_rounds * batch_width);
+    const double batch_speedup = probe_ns / batch_probe_ns;
+
     std::vector<EngineReport> engines;
     for (const char* engine :
          {"tabu", "anneal", "parallel-sim", "parallel-shared"}) {
@@ -177,8 +205,9 @@ int main(int argc, char** argv) {
     }
     const std::vector<ScalingPoint> scaling = run_shared_scaling(nl, options);
 
-    std::printf("%-10s %10.1f %10.1f %12.1f  ", name.c_str(), build_ms,
-                setup_ms, probe_ns);
+    std::printf("%-10s %10.1f %10.1f %12.1f  batch8 %.1f ns/op (%.2fx)  ",
+                name.c_str(), build_ms, setup_ms, probe_ns, batch_probe_ns,
+                batch_speedup);
     for (const EngineReport& e : engines) {
       std::printf("%s: %.0f | %.4f | %.3g   ", e.name.c_str(), e.wall_ms,
                   e.best_cost, e.tt50_s);
@@ -195,9 +224,11 @@ int main(int argc, char** argv) {
     std::printf(
         "MACRO {\"circuit\":\"%s\",\"gates\":%zu,\"nets\":%zu,\"pins\":%zu,"
         "\"logic_depth\":%zu,\"build_ms\":%.3f,\"setup_ms\":%.3f,"
-        "\"probe_ns\":%.3f,\"engines\":{",
+        "\"probe_ns\":%.3f,\"batch_probe_ns\":%.3f,\"batch_speedup\":%.3f,"
+        "\"engines\":{",
         name.c_str(), nl.num_movable(), nl.num_nets(), nl.num_pins(),
-        nl.logic_depth(), build_ms, setup_ms, probe_ns);
+        nl.logic_depth(), build_ms, setup_ms, probe_ns, batch_probe_ns,
+        batch_speedup);
     for (std::size_t i = 0; i < engines.size(); ++i) {
       const EngineReport& e = engines[i];
       std::printf(

@@ -67,6 +67,55 @@ void BM_ProbeSwap(benchmark::State& state) {
 }
 BENCHMARK(BM_ProbeSwap)->DenseRange(0, 3);
 
+// Batched candidate scoring vs BM_ProbeSwap: one iteration samples `width`
+// pairs (same stream discipline as the scalar bench — one draw per trial)
+// and scores them in a single Evaluator::probe_batch call, so items/s are
+// directly comparable between the two families. dump_json.py tracks the
+// batch-8 per-candidate time against BM_ProbeSwap as probe_batch_speedup.
+void run_probe_batch_bench(benchmark::State& state, std::size_t width) {
+  const auto& nl = circuit_for(static_cast<int>(state.range(0)));
+  static std::map<const netlist::Netlist*, std::unique_ptr<placement::Layout>>
+      layouts;
+  auto& layout = layouts[&nl];
+  if (!layout) layout = std::make_unique<placement::Layout>(nl);
+  auto eval = make_eval(nl, *layout, 1);
+  Rng rng(2);
+  const auto& movable = nl.movable_cells();
+  std::vector<cost::Move> moves(width);
+  std::vector<double> costs(width);
+  for (auto _ : state) {
+    for (std::size_t w = 0; w < width; ++w) {
+      const auto [ia, ib] = rng.distinct_pair(movable.size());
+      moves[w] = {movable[ia], movable[ib]};
+    }
+    eval->probe_batch(moves, costs);
+    benchmark::DoNotOptimize(costs.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * width));
+  state.SetLabel(nl.name());
+}
+
+void BM_ProbeBatch4(benchmark::State& state) {
+  run_probe_batch_bench(state, 4);
+}
+BENCHMARK(BM_ProbeBatch4)->DenseRange(0, 3);
+
+void BM_ProbeBatch8(benchmark::State& state) {
+  run_probe_batch_bench(state, 8);
+}
+BENCHMARK(BM_ProbeBatch8)->DenseRange(0, 3);
+
+void BM_ProbeBatch16(benchmark::State& state) {
+  run_probe_batch_bench(state, 16);
+}
+BENCHMARK(BM_ProbeBatch16)->DenseRange(0, 3);
+
+void BM_ProbeBatch32(benchmark::State& state) {
+  run_probe_batch_bench(state, 32);
+}
+BENCHMARK(BM_ProbeBatch32)->DenseRange(0, 3);
+
 // -- CSR vs vector-of-vectors probe throughput ------------------------------
 //
 // The core of one trial probe is: gather the union of nets incident to the

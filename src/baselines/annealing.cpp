@@ -36,12 +36,14 @@ AnnealResult anneal(cost::Evaluator& eval, const AnnealParams& params, Rng& rng,
 
   AnnealResult result;
   result.best_trace.name = "sa_best";
+  result.best_vs_time.name = "best_vs_time";
   double current = eval.cost();
   result.best_cost = current;
   result.best_slots = eval.placement().slots();
   result.best_quality = eval.quality();
 
   const Stopwatch watch;
+  result.best_vs_time.add(0.0, result.best_cost);
   std::size_t temp_step = 0;
   bool stopped = false;
   while (!stopped && temperature > final_temperature) {
@@ -67,6 +69,8 @@ AnnealResult anneal(cost::Evaluator& eval, const AnnealParams& params, Rng& rng,
           result.best_cost = current;
           result.best_slots = eval.placement().slots();
           result.best_quality = eval.quality();
+          // Observation only — the clock read cannot perturb the walk.
+          result.best_vs_time.add(watch.seconds(), result.best_cost);
           if (control.observer != nullptr) {
             control.notify_improvement({result.moves_tried, watch.seconds(),
                                         current, result.best_cost});

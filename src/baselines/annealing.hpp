@@ -29,6 +29,11 @@ struct AnnealResult {
   double best_quality = 0.0;
   std::vector<netlist::CellId> best_slots;
   Series best_trace;  ///< best cost per temperature step
+  /// Best-so-far vs wall seconds; starts at (0, initial cost), one point
+  /// per improvement — the same shape TabuSearch records, so time-to-cost
+  /// reporting (macro_scale's tt50) works for SA too. The y values are
+  /// deterministic for a fixed seed; the x values are wall-clock.
+  Series best_vs_time;
   std::size_t moves_tried = 0;
   std::size_t moves_accepted = 0;
   /// Completed unless a caller-supplied stop condition fired first.

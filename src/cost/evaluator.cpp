@@ -1,5 +1,7 @@
 #include "cost/evaluator.hpp"
 
+#include "placement/overlay.hpp"
+
 namespace pts::cost {
 
 using netlist::CellId;
@@ -36,6 +38,7 @@ double Evaluator::apply_swap(CellId a, CellId b) {
   probe_valid_ = false;
   moved_scratch_.clear();
   placement_.swap_cells(a, b, &moved_scratch_);
+  refresh_shadow(moved_scratch_);
 
   marker_.begin();
   for (CellId cell : moved_scratch_) marker_.add_nets_of(*topology_, cell);
@@ -81,11 +84,92 @@ double Evaluator::probe_swap(CellId a, CellId b) {
   return probed_cost;
 }
 
+void Evaluator::probe_batch(std::span<const Move> moves,
+                            std::span<double> costs) {
+  PTS_DCHECK(costs.size() == moves.size());
+  // A batch leaves no pending probe (its scratch is per-candidate, not
+  // per-pair); winners commit through commit_swap's apply_swap fallback,
+  // which is bit-identical by contract.
+  probe_valid_ = false;
+
+  // The timing replay only folds nets that lie on a monitored path; any
+  // other net's NetChange is an exact no-op in peek_delta's sum (its
+  // paths_of_net slice is empty — no arithmetic, not even a +0.0). Keeping
+  // only path-relevant changes therefore leaves every delay bit unchanged
+  // while giving the concatenated buffer a true static bound —
+  // width × num_path_nets — so steady state never reallocates, matching
+  // the ctor's worst-case-up-front sizing contract. (The unfiltered bound
+  // would be width × num_nets, content-dependent in practice: one unlucky
+  // batch past the high-water mark would allocate mid-search.)
+  const timing::PathSet& pset = timer_.paths();
+  const std::size_t max_changes = moves.size() * pset.num_path_nets();
+  if (batch_changes_.capacity() < max_changes) {
+    batch_changes_.reserve(max_changes);
+  }
+  const auto px = placement_.positions_x();
+  const auto py = placement_.positions_y();
+  if (shadow_x_.empty()) {
+    // Lazy materialization: this call is the shadow's warm-up.
+    shadow_x_.assign(px.begin(), px.end());
+    shadow_y_.assign(py.begin(), py.end());
+  }
+
+  batch_changes_.clear();
+  batch_offsets_.clear();
+  batch_offsets_.push_back(0);
+  batch_objs_.resize(moves.size());
+  const double area_scale = placement_.layout().core_height();
+
+  for (std::size_t i = 0; i < moves.size(); ++i) {
+    // Swap-free scoring: describe the would-be geometry as an overlay, mark
+    // the touched nets in the exact order a real swap would report moved
+    // cells, stage the overlaid coordinates of those cells into the shadow
+    // arrays (O(moved) writes), and recompute the touched boxes with the
+    // plain-load kernel. The shadow is restored to the committed positions
+    // before the next candidate.
+    moved_scratch_.clear();
+    const placement::SwapOverlay ov = placement::build_swap_overlay(
+        placement_, moves[i].a, moves[i].b, &moved_scratch_);
+    marker_.begin();
+    for (CellId cell : moved_scratch_) marker_.add_nets_of(*topology_, cell);
+    for (CellId cell : moved_scratch_) {
+      placement::overlaid_position(ov, cell, px[cell], py[cell],
+                                   &shadow_x_[cell], &shadow_y_[cell]);
+    }
+
+    change_scratch_.clear();
+    const double delta = hpwl_.probe_nets_batch(shadow_x_, shadow_y_,
+                                                marker_.nets(),
+                                                &change_scratch_);
+    for (CellId cell : moved_scratch_) {
+      shadow_x_[cell] = px[cell];
+      shadow_y_[cell] = py[cell];
+    }
+    for (const auto& change : change_scratch_) {
+      if (pset.net_on_path(change.net)) batch_changes_.push_back(change);
+    }
+    batch_offsets_.push_back(static_cast<std::uint32_t>(batch_changes_.size()));
+    batch_objs_[i].wirelength = hpwl_.total() + delta;
+    batch_objs_[i].area = ov.max_extent * area_scale;
+  }
+
+  batch_delays_.resize(moves.size());
+  timer_.peek_delta_batch(batch_changes_, batch_offsets_, batch_delays_);
+  for (std::size_t i = 0; i < moves.size(); ++i) {
+    batch_objs_[i].delay = batch_delays_[i];
+  }
+  goals_.cost_batch(batch_objs_, costs);
+}
+
 double Evaluator::commit_probe() {
   PTS_CHECK_MSG(probe_valid_,
                 "commit_probe() without an immediately preceding probe_swap()");
   probe_valid_ = false;
   placement_.swap_cells(probe_a_, probe_b_);
+  // moved_scratch_ still holds the probe's moved set (the probe's restoring
+  // swap did not refill it, and probe_valid_ guarantees no intervening
+  // mutation) — the same cells just moved again.
+  refresh_shadow(moved_scratch_);
   hpwl_.commit_probe(marker_.nets(), box_scratch_, probe_delta_);
   timer_.commit_peek();
 
@@ -103,7 +187,23 @@ double Evaluator::commit_swap(CellId a, CellId b) {
 void Evaluator::reset_placement(const std::vector<CellId>& cell_at_slot) {
   probe_valid_ = false;
   placement_.assign_slots(cell_at_slot);
+  if (!shadow_x_.empty()) {
+    const auto px = placement_.positions_x();
+    const auto py = placement_.positions_y();
+    shadow_x_.assign(px.begin(), px.end());
+    shadow_y_.assign(py.begin(), py.end());
+  }
   rebuild_all();
+}
+
+void Evaluator::refresh_shadow(std::span<const CellId> cells) {
+  if (shadow_x_.empty()) return;
+  const auto px = placement_.positions_x();
+  const auto py = placement_.positions_y();
+  for (CellId c : cells) {
+    shadow_x_[c] = px[c];
+    shadow_y_[c] = py[c];
+  }
 }
 
 void Evaluator::rebuild_all() {
@@ -116,9 +216,8 @@ FuzzyGoals Evaluator::calibrate_goals(const placement::Placement& initial,
                                       const timing::PathSet& paths,
                                       const CostParams& params) {
   placement::HpwlState hpwl(initial);
-  timing::PathTimer timer(
-      std::shared_ptr<const timing::PathSet>(&paths, [](const timing::PathSet*) {}),
-      hpwl, params.delay_model);
+  // Non-owning timer: `paths` outlives this calibration-only instance.
+  timing::PathTimer timer(paths, hpwl, params.delay_model);
   Objectives o;
   o.wirelength = hpwl.total();
   o.delay = timer.max_delay();

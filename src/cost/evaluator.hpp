@@ -29,7 +29,9 @@
 // Evaluator, so neither probe nor apply allocates in steady state.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "cost/fuzzy.hpp"
@@ -39,6 +41,12 @@
 #include "timing/paths.hpp"
 
 namespace pts::cost {
+
+/// A candidate swap for batched evaluation (Evaluator::probe_batch).
+struct Move {
+  netlist::CellId a = netlist::kNoCell;
+  netlist::CellId b = netlist::kNoCell;
+};
 
 struct CostParams {
   timing::DelayModel delay_model;
@@ -89,6 +97,21 @@ class Evaluator {
   /// toward rebuild_interval.
   double probe_swap(netlist::CellId a, netlist::CellId b);
 
+  /// Scores N candidate swaps in one call: costs[i] receives exactly what
+  /// probe_swap(moves[i].a, moves[i].b) would return — bit-identical, pinned
+  /// by tests/property_test.cpp — without mutating the placement geometry at
+  /// all. Each candidate is described by a SwapOverlay (placement/overlay.hpp)
+  /// staged into shadow position arrays (O(moved) writes, restored after the
+  /// probe), and its touched nets are recomputed with the plain-load box
+  /// kernel (HpwlState::probe_nets_batch); per-candidate net changes are
+  /// replayed against scratch path sums in one peek_delta_batch call, and a
+  /// single FuzzyGoals OWA pass converts all N objective tuples to costs.
+  /// Leaves no pending probe: commit the winning pair with commit_swap(),
+  /// whose apply_swap() fallback is bit-identical by contract. Candidates
+  /// are scored against the same committed state, so the batch is equivalent
+  /// to N sequential probes (probes change no observable state).
+  void probe_batch(std::span<const Move> moves, std::span<double> costs);
+
   /// Promotes the immediately preceding probe_swap() into the committed
   /// state and returns the new scalar cost. The resulting state is
   /// bit-identical to apply_swap() of the probed pair, but costs only the
@@ -117,6 +140,9 @@ class Evaluator {
 
  private:
   void rebuild_all();
+  /// Re-copies committed positions into the shadow arrays for `cells`
+  /// (no-op until the first probe_batch materializes the shadow).
+  void refresh_shadow(std::span<const netlist::CellId> cells);
 
   placement::Placement placement_;
   std::shared_ptr<const timing::PathSet> paths_;
@@ -129,6 +155,24 @@ class Evaluator {
   std::vector<netlist::CellId> moved_scratch_;
   std::vector<placement::NetChange> change_scratch_;
   std::vector<placement::NetBox> box_scratch_;
+  // probe_batch scratch: concatenated per-candidate net changes with CSR
+  // offsets, objective tuples, and delay estimates. Only timing-relevant
+  // changes (nets on a monitored path) are kept — any other net is an exact
+  // no-op in the delay replay — which bounds the buffer at
+  // width × PathSet::num_path_nets(), lazily reserved on first use so
+  // batched probing does not allocate in steady state.
+  std::vector<placement::NetChange> batch_changes_;
+  std::vector<std::uint32_t> batch_offsets_;
+  std::vector<Objectives> batch_objs_;
+  std::vector<double> batch_delays_;
+  // Shadow copy of the committed SoA positions, materialized lazily by the
+  // first probe_batch (that call is the warm-up; nothing allocates after).
+  // probe_batch overwrites only a candidate's moved cells and restores them
+  // after the probe; committed mutations (apply_swap/commit_probe) re-copy
+  // their moved cells, and reset_placement re-copies everything, so the
+  // shadow always equals the committed positions between calls.
+  std::vector<double> shadow_x_;
+  std::vector<double> shadow_y_;
   // Pending probe: the pair, its weighted HPWL delta, and whether the
   // scratch (box_scratch_, change_scratch_, marker_ nets, the timer's peek
   // sums) still describes it. Cleared by any committed mutation.

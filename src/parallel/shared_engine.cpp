@@ -1,6 +1,8 @@
 #include "parallel/shared_engine.hpp"
 
+#include <algorithm>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "cost/evaluator.hpp"
@@ -48,20 +50,36 @@ class SharedCompoundStrategy final : public tabu::CompoundStrategy {
       // search stream: probes consume no RNG, so this draws exactly the
       // sequence the sequential sample/probe interleave would.
       moves_.clear();
+      cmoves_.clear();
       for (std::size_t trial = 0; trial < width; ++trial) {
-        moves_.push_back(tabu::sample_move(movable, range, rng));
+        const tabu::Move move = tabu::sample_move(movable, range, rng);
+        moves_.push_back(move);
+        cmoves_.push_back({move.a, move.b});
       }
       costs_.resize(width);
 
       // Probe every trial against the current committed state. Probes are
       // state-independent of each other, so costs_[i] is the same number
-      // whichever thread computes it.
+      // whichever thread computes it — and probe_batch is bit-identical to
+      // probe_swap per candidate, so the batch sub-chunking below changes
+      // no cost either. A thread scores its claimed range in sub-batches of
+      // the configured batch width (the same knob the sequential compound
+      // loop uses); batch <= 1 keeps the scalar path.
+      const std::size_t batch = params.batch;
       parallel_for_chunked(
           *pool_, 0, width, chunk,
-          [this](std::size_t worker, std::size_t lo, std::size_t hi) {
+          [this, batch](std::size_t worker, std::size_t lo, std::size_t hi) {
             cost::Evaluator& ev = synced_evaluator(worker);
-            for (std::size_t i = lo; i < hi; ++i) {
-              costs_[i] = ev.probe_swap(moves_[i].a, moves_[i].b);
+            if (batch > 1) {
+              for (std::size_t i = lo; i < hi; i += batch) {
+                const std::size_t n = std::min(batch, hi - i);
+                ev.probe_batch(std::span(cmoves_).subspan(i, n),
+                               std::span(costs_).subspan(i, n));
+              }
+            } else {
+              for (std::size_t i = lo; i < hi; ++i) {
+                costs_[i] = ev.probe_swap(moves_[i].a, moves_[i].b);
+              }
             }
           });
 
@@ -136,6 +154,7 @@ class SharedCompoundStrategy final : public tabu::CompoundStrategy {
   std::vector<tabu::Move> oplog_;
   std::vector<std::size_t> cursors_;  ///< per-worker oplog replay position
   std::vector<tabu::Move> moves_;     ///< level scratch: sampled trials
+  std::vector<cost::Move> cmoves_;    ///< level scratch: trials as cost::Moves
   std::vector<double> costs_;         ///< level scratch: probed costs
 };
 

@@ -1,6 +1,7 @@
 #include "placement/hpwl.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
 namespace pts::placement {
 
@@ -59,6 +60,50 @@ double HpwlState::probe_nets(std::span<const NetId> nets,
     delta += topology_->net_weight(net) * (after - before);
     if (changes != nullptr) changes->push_back({net, before, after});
   }
+  return delta;
+}
+
+double HpwlState::probe_nets_batch(std::span<const double> xs,
+                                   std::span<const double> ys,
+                                   std::span<const NetId> nets,
+                                   std::vector<NetChange>* changes) const {
+  PTS_DCHECK(changes != nullptr);
+  PTS_DCHECK(xs.size() == ys.size());
+  const double* X = xs.data();
+  const double* Y = ys.data();
+
+  // Cursor-style change emission: write unconditionally, advance only when
+  // the half-perimeter moved. Same entries, same order as probe_nets().
+  std::size_t nc = changes->size();
+  changes->resize(nc + nets.size());
+  NetChange* out = changes->data();
+
+  double delta = 0.0;
+  for (NetId net : nets) {
+    const double before = boxes_[net].half_perimeter();
+    const std::span<const netlist::CellId> pins = topology_->pins(net);
+
+    // Driver-first init then min/max fold — compute_box()'s exact order,
+    // but against the caller's shadow arrays instead of the placement.
+    const netlist::CellId driver = pins.front();
+    double min_x = X[driver], max_x = X[driver];
+    double min_y = Y[driver], max_y = Y[driver];
+    for (const netlist::CellId c : pins.subspan(1)) {
+      min_x = std::min(min_x, X[c]);
+      max_x = std::max(max_x, X[c]);
+      min_y = std::min(min_y, Y[c]);
+      max_y = std::max(max_y, Y[c]);
+    }
+
+    const double after = (max_x - min_x) + (max_y - min_y);
+    // before == after contributes w * (+0.0) = +0.0, which never changes
+    // the accumulator (no term is -0.0), so the unconditional add matches
+    // probe_nets()'s skip bit for bit.
+    delta += topology_->net_weight(net) * (after - before);
+    out[nc] = NetChange{net, before, after};
+    nc += static_cast<std::size_t>(before != after);
+  }
+  changes->resize(nc);
   return delta;
 }
 

@@ -75,6 +75,24 @@ class HpwlState {
                     std::vector<NetBox>* scratch,
                     std::vector<NetChange>* changes = nullptr) const;
 
+  /// Shadow-array counterpart of probe_nets() for batched trial evaluation:
+  /// recomputes the boxes of `nets` against caller-supplied per-cell
+  /// position arrays (a shadow copy of the committed SoA positions with the
+  /// candidate's moved cells overwritten via overlaid_position()) and
+  /// returns the change in weighted total against the committed boxes,
+  /// without touching committed state. Appends the same NetChanges
+  /// probe_nets() would observe after a real swap. The inner loops are
+  /// branch-free (plain-load min/max box fold, cursor-style change
+  /// emission), and the per-net visit order and delta summation order are
+  /// exactly probe_nets()'s, which keeps every returned delta bit-identical
+  /// to the scalar path (pinned by tests/property_test.cpp). Returns no
+  /// scratch boxes: batch winners re-probe or commit through the swap path,
+  /// never from here.
+  double probe_nets_batch(std::span<const double> xs,
+                          std::span<const double> ys,
+                          std::span<const netlist::NetId> nets,
+                          std::vector<NetChange>* changes) const;
+
   /// Promotes a preceding probe_nets() over the same `nets`: installs the
   /// scratch boxes and folds `delta` into the total, producing state
   /// bit-identical to what update_nets(nets) would have produced.

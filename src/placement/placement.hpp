@@ -9,6 +9,7 @@
 // the candidate-list workers rely on this for cheap undo of trial moves.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "netlist/netlist.hpp"
@@ -51,6 +52,12 @@ class Placement {
     PTS_DCHECK(cell < pos_x_.size());
     return Point{pos_x_[cell], pos_y_[cell]};
   }
+
+  /// Flat per-cell coordinate arrays (indexed by cell id, pads included).
+  /// The batched probe kernels iterate these directly — and prefetch into
+  /// them — instead of going through position() one cell at a time.
+  std::span<const double> positions_x() const { return pos_x_; }
+  std::span<const double> positions_y() const { return pos_y_; }
 
   /// Width of the occupied extent of `row` (sum of cell widths in it).
   double row_extent(std::size_t row) const {

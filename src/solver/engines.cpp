@@ -162,6 +162,7 @@ class AnnealEngine final : public Engine {
     out.best_quality = r.best_quality;
     out.best_slots = std::move(r.best_slots);
     out.best_trace = std::move(r.best_trace);
+    out.best_vs_time = std::move(r.best_vs_time);
     out.iterations = r.moves_tried;
     out.stats.iterations = r.moves_tried;
     out.stats.accepted = r.moves_accepted;

@@ -26,7 +26,26 @@ struct CompoundParams {
   std::size_t depth = 3;
   /// Early accept: stop as soon as the cost improves on the start cost.
   bool early_accept = true;
+  /// Candidate batch width for Evaluator::probe_batch: each level's trials
+  /// are scored in chunks of up to this many candidates. <= 1 scores one
+  /// probe_swap at a time. Either path yields bit-identical costs and
+  /// trajectories (probes consume no RNG, so drawing all pairs up front
+  /// reads the same sample stream; the reduction is the same
+  /// first-strict-min) — this knob is purely a throughput choice.
+  std::size_t batch = 8;
 };
+
+/// Samples `width` trial pairs from (movable, range, rng), scores them —
+/// through Evaluator::probe_batch in chunks of `batch` when batch > 1, one
+/// probe_swap at a time otherwise; bit-identical either way — and returns
+/// the first-strict-min winner and its cost (memory-adjusted for ranking
+/// when `use_memory`). Shared by the compound and diversification trial
+/// loops; uses thread_local scratch, so steady state does not allocate.
+void best_of_trials(cost::Evaluator& eval,
+                    std::span<const netlist::CellId> movable,
+                    const CellRange& range, std::size_t width,
+                    std::size_t batch, Rng& rng, const FrequencyMemory* memory,
+                    bool use_memory, Move* best_out, double* best_cost_out);
 
 /// Builds and applies a compound move on `eval`, sampling first cells from
 /// `range`, writing the applied swaps and final cost into `*out` (cleared

@@ -1,5 +1,7 @@
 #include "tabu/diversify.hpp"
 
+#include "tabu/compound.hpp"
+
 namespace pts::tabu {
 
 void diversify(cost::Evaluator& eval, const CellRange& range,
@@ -15,17 +17,8 @@ void diversify(cost::Evaluator& eval, const CellRange& range,
   for (std::size_t level = 0; level < params.depth; ++level) {
     Move best{};
     double best_cost = 0.0;
-    bool have = false;
-    for (std::size_t trial = 0; trial < params.width; ++trial) {
-      const Move move = sample_move(movable, range, rng);
-      const double cost_after = eval.probe_swap(move.a, move.b);
-      if (!have || cost_after < best_cost) {
-        best = move;
-        best_cost = cost_after;
-        have = true;
-      }
-    }
-    PTS_CHECK(have);
+    best_of_trials(eval, movable, range, params.width, params.batch, rng,
+                   /*memory=*/nullptr, /*use_memory=*/false, &best, &best_cost);
     eval.commit_swap(best.a, best.b);
     applied->push_back(best);
   }

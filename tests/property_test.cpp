@@ -249,5 +249,82 @@ TEST(PropertyFuzz, IncrementalHpwlAndPeekDeltaMatchRecompute) {
   }
 }
 
+// -- property 5: probe_batch == N sequential probe_swap, bit for bit ---------
+
+TEST(PropertyFuzz, ProbeBatchMatchesScalarBitForBit) {
+  for (const GeneratorConfig& config : fuzz_configs()) {
+    SCOPED_TRACE(config.name + " gates=" + std::to_string(config.num_gates));
+    const Netlist nl = netlist::generate_circuit(config);
+    const placement::Layout layout(nl);
+    // Two evaluators seeded identically: one scores through probe_batch,
+    // the other through sequential probe_swap. Their committed states must
+    // stay bit-identical round after round.
+    auto batch_eval = make_eval(nl, layout, config.seed ^ 0xBA7CULL);
+    auto scalar_eval = make_eval(nl, layout, config.seed ^ 0xBA7CULL);
+
+    // A gate on a pad-driven net, forced into every batch so nets with pad
+    // pins (whose fixed positions an overlay must never shift) are always
+    // exercised.
+    const auto& movable = nl.movable_cells();
+    CellId pad_adjacent = netlist::kNoCell;
+    for (CellId gate : movable) {
+      for (NetId net : nl.topology().nets_of(gate)) {
+        if (!nl.cell(nl.topology().driver(net)).movable()) {
+          pad_adjacent = gate;
+          break;
+        }
+      }
+      if (pad_adjacent != netlist::kNoCell) break;
+    }
+
+    Rng rng(config.seed ^ 0x8A7CULL);
+    std::vector<cost::Move> moves;
+    std::vector<double> batch_costs;
+    for (int round = 0; round < 6; ++round) {
+      const std::size_t width = static_cast<std::size_t>(rng.between(1, 12));
+      moves.clear();
+      for (std::size_t w = 0; w < width; ++w) {
+        const auto [ia, ib] = rng.distinct_pair(movable.size());
+        moves.push_back({movable[ia], movable[ib]});
+      }
+      if (pad_adjacent != netlist::kNoCell && moves[0].b != pad_adjacent) {
+        moves[0].a = pad_adjacent;
+      }
+      // Overlapping-net candidates: candidates 0 and 1 share a cell, so
+      // their marked-net sets intersect.
+      if (moves.size() >= 2) {
+        moves[1].a = moves[0].a;
+        if (moves[1].b == moves[1].a) moves[1].b = moves[0].b;
+      }
+
+      batch_costs.assign(moves.size(), 0.0);
+      batch_eval->probe_batch(moves, batch_costs);
+
+      // Bit-identity per candidate; track the first-strict-min winner the
+      // way every candidate loop does.
+      std::size_t best = 0;
+      for (std::size_t i = 0; i < moves.size(); ++i) {
+        const double scalar = scalar_eval->probe_swap(moves[i].a, moves[i].b);
+        ASSERT_EQ(batch_costs[i], scalar)
+            << config.name << " round " << round << " candidate " << i;
+        if (batch_costs[i] < batch_costs[best]) best = i;
+      }
+
+      // Batch-then-commit of the winning index: commit_swap promotes the
+      // scalar evaluator's pending probe only when the winner was the last
+      // candidate probed, so both commit paths get exercised — and both
+      // must leave bit-identical committed state.
+      const double batch_committed =
+          batch_eval->commit_swap(moves[best].a, moves[best].b);
+      const double scalar_committed =
+          scalar_eval->commit_swap(moves[best].a, moves[best].b);
+      ASSERT_EQ(batch_committed, scalar_committed)
+          << config.name << " round " << round;
+      ASSERT_EQ(batch_eval->hpwl().total(), scalar_eval->hpwl().total());
+      ASSERT_TRUE(batch_eval->placement() == scalar_eval->placement());
+    }
+  }
+}
+
 }  // namespace
 }  // namespace pts
