@@ -1,0 +1,152 @@
+// ptsd — run the placement-as-a-service daemon.
+//
+// Serves solve jobs over a Unix-domain socket (default /tmp/ptsd.sock)
+// and/or loopback TCP. SIGTERM / SIGINT drain gracefully: stop accepting,
+// cancel every running session, join every thread, then exit — the
+// "zero leaked sessions" contract (DESIGN.md §10).
+//
+//   ptsd --unix /tmp/ptsd.sock
+//   ptsd --tcp --port 7777
+//   ptsd --selfcheck          # in-process loopback: start, solve highway
+//                             # through a real socket, verify the result is
+//                             # bit-identical to a direct solve, drain.
+#include <csignal>
+#include <cstdio>
+#include <unistd.h>
+
+#include "experiments/workloads.hpp"
+#include "service/client.hpp"
+#include "service/daemon.hpp"
+#include "support/cli.hpp"
+#include "support/log.hpp"
+
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: ptsd [--unix /tmp/ptsd.sock] [--tcp] [--port 0]\n"
+    "            [--max-sessions 256] [--quiet] [--selfcheck] [--help]\n"
+    "--selfcheck starts the daemon on a private socket, runs one end-to-end\n"
+    "solve through it, checks bit-identity against a direct solve, and\n"
+    "drains; exit 0 = healthy.\n";
+
+pts::service::Daemon* g_daemon = nullptr;
+
+void handle_signal(int) {
+  // Async-signal-safe: one write to the daemon's stop pipe; main() is
+  // blocked in wait_for_stop_request and performs the actual drain.
+  if (g_daemon != nullptr) g_daemon->request_stop();
+}
+
+int selfcheck() {
+  using namespace pts::service;
+  const std::string socket_path =
+      "/tmp/ptsd-selfcheck-" + std::to_string(::getpid()) + ".sock";
+  DaemonConfig config;
+  config.unix_path = socket_path;
+  Daemon daemon(config);
+  std::string error;
+  if (!daemon.start(&error)) {
+    std::fprintf(stderr, "selfcheck: start failed: %s\n", error.c_str());
+    return 1;
+  }
+
+  Client client;
+  if (!client.connect_unix(socket_path, &error)) {
+    std::fprintf(stderr, "selfcheck: connect failed: %s\n", error.c_str());
+    return 1;
+  }
+  const auto welcome = client.hello(&error);
+  if (!welcome || welcome->engines.empty()) {
+    std::fprintf(stderr, "selfcheck: hello failed: %s\n", error.c_str());
+    return 1;
+  }
+
+  JobRequest job;
+  job.circuit = "highway";
+  job.spec.engine = "tabu";
+  job.spec.seed = 7;
+  job.spec.tabu.iterations = 120;
+  const auto session = client.submit(job, /*stream=*/true, /*stride=*/32, &error);
+  if (!session) {
+    std::fprintf(stderr, "selfcheck: submit failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::size_t progress_events = 0;
+  const auto served = client.wait(
+      *session, [&](const ProgressMsg&) { ++progress_events; }, &error);
+  if (!served) {
+    std::fprintf(stderr, "selfcheck: wait failed: %s\n", error.c_str());
+    return 1;
+  }
+
+  // The served result must be bit-identical to the same-seed direct solve.
+  auto direct_spec = job.spec;
+  direct_spec.netlist = &pts::experiments::circuit(job.circuit);
+  const auto direct = pts::solver::Solver().solve(direct_spec);
+  if (served->best_cost != direct.best_cost ||
+      served->best_slots != direct.best_slots ||
+      served->iterations != direct.iterations) {
+    std::fprintf(stderr, "selfcheck: served result diverges from direct solve\n");
+    return 1;
+  }
+
+  client.close();
+  daemon.stop();
+  if (daemon.active_sessions() != 0) {
+    std::fprintf(stderr, "selfcheck: leaked sessions after drain\n");
+    return 1;
+  }
+  std::printf(
+      "selfcheck ok: engines=%zu best_cost=%.6f progress_events=%zu "
+      "sessions=%llu\n",
+      welcome->engines.size(), served->best_cost, progress_events,
+      static_cast<unsigned long long>(daemon.sessions_finished()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const pts::Cli cli(argc, argv);
+  if (cli.get_flag("help")) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  const std::string unix_path = cli.get("unix", "/tmp/ptsd.sock");
+  const bool tcp = cli.get_flag("tcp");
+  const auto port = static_cast<std::uint16_t>(cli.get_int("port", 0));
+  const auto max_sessions = static_cast<std::size_t>(cli.get_int("max-sessions", 256));
+  const bool quiet = cli.get_flag("quiet");
+  const bool run_selfcheck = cli.get_flag("selfcheck");
+  cli.reject_unused(kUsage);
+
+  pts::set_log_level(quiet ? pts::LogLevel::Warn : pts::LogLevel::Info);
+  if (run_selfcheck) return selfcheck();
+
+  pts::service::DaemonConfig config;
+  config.unix_path = tcp ? cli.get("unix", "") : unix_path;
+  config.tcp = tcp;
+  config.tcp_port = port;
+  config.max_sessions = max_sessions;
+
+  pts::service::Daemon daemon(config);
+  std::string error;
+  if (!daemon.start(&error)) {
+    std::fprintf(stderr, "ptsd: %s\n", error.c_str());
+    return 1;
+  }
+  g_daemon = &daemon;
+  std::signal(SIGTERM, handle_signal);
+  std::signal(SIGINT, handle_signal);
+  if (tcp) std::printf("ptsd: listening on 127.0.0.1:%u\n", daemon.tcp_port());
+
+  daemon.wait_for_stop_request();
+  std::printf("ptsd: draining...\n");
+  daemon.stop();
+  g_daemon = nullptr;
+  std::printf("ptsd: drained; sessions started=%llu finished=%llu active=%zu\n",
+              static_cast<unsigned long long>(daemon.sessions_started()),
+              static_cast<unsigned long long>(daemon.sessions_finished()),
+              daemon.active_sessions());
+  return daemon.active_sessions() == 0 ? 0 : 1;
+}

@@ -1,0 +1,265 @@
+// ptsd_load — concurrency load generator for the ptsd daemon.
+//
+// Drives N sessions across M client connections and verifies the session
+// accounting afterwards: every submitted session reaches exactly one Done,
+// and the daemon drains to zero active sessions. This is the binary behind
+// the stress-tier soak (100 concurrent scale10k sessions) and its SIGTERM
+// variant, which raises SIGTERM mid-soak and checks that the drain cancels
+// the remainder without leaking a session.
+//
+//   ptsd_load --self-host --sessions 100 --connections 8 --circuit scale10k
+//             --iterations 2 --sigterm-drain --min-completed 1
+#include <csignal>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/client.hpp"
+#include "service/daemon.hpp"
+#include "support/cli.hpp"
+#include "support/log.hpp"
+
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: ptsd_load [--self-host | --unix PATH | --tcp --host H --port N]\n"
+    "                 [--sessions 8] [--connections 4] [--circuit highway]\n"
+    "                 [--engine tabu] [--iterations 50] [--seed-base 1]\n"
+    "                 [--stream] [--stride 0] [--max-sessions 256]\n"
+    "                 [--sigterm-drain] [--min-completed 0] [--help]\n"
+    "--sigterm-drain (needs --self-host) raises SIGTERM once --min-completed\n"
+    "sessions have finished and verifies the graceful drain.\n";
+
+pts::service::Daemon* g_daemon = nullptr;
+
+void handle_signal(int) {
+  if (g_daemon != nullptr) g_daemon->request_stop();
+}
+
+struct WorkerStats {
+  std::size_t submitted = 0;
+  std::size_t completed = 0;  ///< Done with stop_reason != cancelled
+  std::size_t cancelled = 0;  ///< Done with stop_reason == cancelled
+  std::size_t torn_down = 0;  ///< connection closed by the drain before Done
+  std::vector<std::string> errors;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pts::service;
+  const pts::Cli cli(argc, argv);
+  if (cli.get_flag("help")) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  const bool self_host = cli.get_flag("self-host");
+  std::string unix_path = cli.get("unix", "/tmp/ptsd.sock");
+  const bool tcp = cli.get_flag("tcp");
+  const std::string host = cli.get("host", "127.0.0.1");
+  const auto port = static_cast<std::uint16_t>(cli.get_int("port", 0));
+  const auto sessions = static_cast<std::size_t>(cli.get_int("sessions", 8));
+  const auto connections = static_cast<std::size_t>(cli.get_int("connections", 4));
+  const std::string circuit = cli.get("circuit", "highway");
+  const std::string engine = cli.get("engine", "tabu");
+  const auto iterations = static_cast<std::size_t>(cli.get_int("iterations", 50));
+  const auto seed_base = static_cast<std::uint64_t>(cli.get_int("seed-base", 1));
+  const bool stream = cli.get_flag("stream");
+  const auto stride = static_cast<std::uint64_t>(cli.get_int("stride", 0));
+  const auto max_sessions = static_cast<std::size_t>(
+      cli.get_int("max-sessions", static_cast<std::int64_t>(sessions) + 16));
+  const bool sigterm_drain = cli.get_flag("sigterm-drain");
+  const auto min_completed = static_cast<std::uint64_t>(cli.get_int(
+      "min-completed", sigterm_drain ? 1 : static_cast<std::int64_t>(sessions)));
+  cli.reject_unused(kUsage);
+
+  if (sigterm_drain && !self_host) {
+    std::fprintf(stderr, "ptsd_load: --sigterm-drain requires --self-host\n");
+    return 2;
+  }
+  if (connections == 0 || sessions == 0) {
+    std::fprintf(stderr, "ptsd_load: need at least one session and connection\n");
+    return 2;
+  }
+
+  pts::set_log_level(pts::LogLevel::Warn);
+
+  std::unique_ptr<Daemon> daemon;
+  if (self_host) {
+    unix_path = "/tmp/ptsd-load-" + std::to_string(::getpid()) + ".sock";
+    DaemonConfig config;
+    config.unix_path = unix_path;
+    config.max_sessions = max_sessions;
+    daemon = std::make_unique<Daemon>(config);
+    std::string error;
+    if (!daemon->start(&error)) {
+      std::fprintf(stderr, "ptsd_load: daemon start: %s\n", error.c_str());
+      return 1;
+    }
+    g_daemon = daemon.get();
+    std::signal(SIGTERM, handle_signal);
+  }
+
+  std::atomic<bool> draining{false};
+  std::vector<WorkerStats> stats(connections);
+  std::vector<std::thread> workers;
+  workers.reserve(connections);
+  const auto started_at = std::chrono::steady_clock::now();
+
+  for (std::size_t w = 0; w < connections; ++w) {
+    workers.emplace_back([&, w] {
+      WorkerStats& mine = stats[w];
+      auto fail = [&](const std::string& context, const std::string& error) {
+        // Once the drain begins, connection teardown is the expected
+        // outcome, not a failure.
+        if (draining.load()) {
+          ++mine.torn_down;
+          return;
+        }
+        mine.errors.push_back(context + ": " + error);
+      };
+
+      Client client;
+      std::string error;
+      const bool connected = tcp ? client.connect_tcp(host, port, &error)
+                                 : client.connect_unix(unix_path, &error);
+      if (!connected) {
+        fail("connect", error);
+        return;
+      }
+      if (!client.hello(&error)) {
+        fail("hello", error);
+        return;
+      }
+
+      // Submit this worker's share up front, then await the Dones in order —
+      // that is what keeps `sessions` solves concurrently resident serverside.
+      std::vector<std::uint64_t> ids;
+      for (std::size_t s = w; s < sessions; s += connections) {
+        JobRequest job;
+        job.circuit = circuit;
+        job.spec.engine = engine;
+        job.spec.seed = seed_base + s;
+        job.spec.tabu.iterations = iterations;
+        job.spec.local.max_iterations = iterations;
+        job.spec.stop.max_iterations = iterations;
+        const auto id = client.submit(job, stream, stride, &error);
+        if (!id) {
+          fail("submit", error);
+          return;
+        }
+        ++mine.submitted;
+        ids.push_back(*id);
+      }
+      for (const auto id : ids) {
+        const auto result = client.wait(id, nullptr, &error);
+        if (!result) {
+          fail("wait", error);
+          return;
+        }
+        if (result->stop_reason == pts::StopReason::Cancelled) {
+          ++mine.cancelled;
+        } else {
+          ++mine.completed;
+        }
+      }
+    });
+  }
+
+  std::thread drainer;
+  if (sigterm_drain) {
+    // Let min_completed sessions finish, then hit the daemon with a real
+    // SIGTERM mid-soak. The handler only pokes the stop pipe; this thread
+    // plays the role of ptsd's main(): wake up, drain, exit.
+    while (daemon->sessions_finished() < min_completed) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    draining.store(true);
+    drainer = std::thread([&] {
+      daemon->wait_for_stop_request();
+      daemon->stop();
+    });
+    ::raise(SIGTERM);
+  }
+
+  for (auto& worker : workers) worker.join();
+  if (drainer.joinable()) drainer.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started_at)
+          .count();
+
+  WorkerStats total;
+  for (const auto& s : stats) {
+    total.submitted += s.submitted;
+    total.completed += s.completed;
+    total.cancelled += s.cancelled;
+    total.torn_down += s.torn_down;
+    for (const auto& e : s.errors) total.errors.push_back(e);
+  }
+
+  int status = 0;
+  for (const auto& e : total.errors) {
+    std::fprintf(stderr, "ptsd_load: %s\n", e.c_str());
+    status = 1;
+  }
+
+  std::uint64_t server_started = 0, server_finished = 0;
+  std::size_t leaked = 0;
+  if (daemon) {
+    daemon->stop();  // idempotent; normal path shuts down here
+    g_daemon = nullptr;
+    server_started = daemon->sessions_started();
+    server_finished = daemon->sessions_finished();
+    leaked = daemon->active_sessions();
+    if (leaked != 0) {
+      std::fprintf(stderr, "ptsd_load: %zu leaked sessions after drain\n", leaked);
+      status = 1;
+    }
+    if (server_started != server_finished) {
+      std::fprintf(stderr,
+                   "ptsd_load: server started %llu sessions but finished %llu\n",
+                   static_cast<unsigned long long>(server_started),
+                   static_cast<unsigned long long>(server_finished));
+      status = 1;
+    }
+  }
+  if (!sigterm_drain && total.completed < sessions) {
+    std::fprintf(stderr, "ptsd_load: only %zu of %zu sessions completed\n",
+                 total.completed, sessions);
+    status = 1;
+  }
+  // In sigterm mode the client-side counters race the drain (a worker still
+  // submitting when SIGTERM lands never reaches its waits), so the
+  // min-completed floor is a *server-side* guarantee: that many sessions
+  // ran to completion before the signal was raised.
+  if (sigterm_drain && server_finished < min_completed) {
+    std::fprintf(stderr,
+                 "ptsd_load: server finished %llu < min-completed %llu\n",
+                 static_cast<unsigned long long>(server_finished),
+                 static_cast<unsigned long long>(min_completed));
+    status = 1;
+  }
+  if (!sigterm_drain && total.completed < min_completed) {
+    std::fprintf(stderr, "ptsd_load: completed %zu < min-completed %llu\n",
+                 total.completed, static_cast<unsigned long long>(min_completed));
+    status = 1;
+  }
+
+  std::printf(
+      "%zu sessions over %zu connections on %s/%s: %zu completed, %zu "
+      "cancelled, %zu torn down in %.2fs (server started=%llu finished=%llu "
+      "leaked=%zu)%s\n",
+      total.submitted, connections, circuit.c_str(), engine.c_str(),
+      total.completed, total.cancelled, total.torn_down, elapsed,
+      static_cast<unsigned long long>(server_started),
+      static_cast<unsigned long long>(server_finished), leaked,
+      sigterm_drain ? " [sigterm drain]" : "");
+  return status;
+}

@@ -2,12 +2,19 @@
 
 #include <cmath>
 #include <map>
+#include <mutex>
 
 namespace pts::experiments {
 
 const netlist::Netlist& circuit(std::string_view name) {
+  // The cache is shared process state and the ptsd daemon calls this from
+  // concurrent per-connection reader threads. std::map never invalidates
+  // node references, so returned Netlist& stay valid across later inserts;
+  // the lock only needs to cover lookup + emplace.
+  static std::mutex mutex;
   static std::map<std::string, netlist::Netlist> cache;
   const std::string key(name);
+  const std::lock_guard<std::mutex> lock(mutex);
   auto it = cache.find(key);
   if (it == cache.end()) {
     it = cache.emplace(key, netlist::make_benchmark(name)).first;

@@ -1,0 +1,92 @@
+#include "pvm/frame.hpp"
+
+#include <cstring>
+
+#include "support/check.hpp"
+
+namespace pts::pvm {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  const auto base = out.size();
+  out.resize(base + sizeof(v));
+  std::memcpy(out.data() + base, &v, sizeof(v));
+}
+
+std::uint32_t read_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+void encode_frame(const Message& msg, std::vector<std::uint8_t>& out) {
+  const auto& payload = msg.bytes();
+  PTS_CHECK_MSG(!payload.empty(), "cannot frame an empty message");
+  PTS_CHECK_MSG(payload.size() <= UINT32_MAX, "frame payload exceeds u32 length");
+  out.reserve(out.size() + kFrameHeaderBytes + payload.size());
+  put_u32(out, kFrameMagic);
+  put_u32(out, static_cast<std::uint32_t>(msg.tag()));
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+std::vector<std::uint8_t> encode_frame(const Message& msg) {
+  std::vector<std::uint8_t> out;
+  encode_frame(msg, out);
+  return out;
+}
+
+void FrameDecoder::fail(std::string reason) {
+  error_ = std::move(reason);
+  buffer_.clear();
+  consumed_ = 0;
+}
+
+bool FrameDecoder::feed(const void* data, std::size_t size) {
+  if (errored()) return false;
+  if (size == 0) return true;
+  // Compact lazily: only when the dead prefix dominates the buffer, so a
+  // chatty stream does not memmove per frame.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  buffer_.insert(buffer_.end(), bytes, bytes + size);
+  return true;
+}
+
+std::optional<Message> FrameDecoder::next() {
+  if (errored()) return std::nullopt;
+  if (buffer_.size() - consumed_ < kFrameHeaderBytes) return std::nullopt;
+  const std::uint8_t* header = buffer_.data() + consumed_;
+  const std::uint32_t magic = read_u32(header);
+  if (magic != kFrameMagic) {
+    fail("bad frame magic");
+    return std::nullopt;
+  }
+  const auto tag = static_cast<std::int32_t>(read_u32(header + 4));
+  const std::uint32_t length = read_u32(header + 8);
+  if (length == 0) {
+    fail("zero-length frame payload");
+    return std::nullopt;
+  }
+  if (length > max_payload_) {
+    fail("frame payload exceeds max_payload");
+    return std::nullopt;
+  }
+  if (buffer_.size() - consumed_ < kFrameHeaderBytes + length) {
+    return std::nullopt;  // payload still in flight
+  }
+  const std::uint8_t* payload = header + kFrameHeaderBytes;
+  Message msg = Message::from_payload(
+      static_cast<int>(tag), std::vector<std::uint8_t>(payload, payload + length));
+  consumed_ += kFrameHeaderBytes + length;
+  return msg;
+}
+
+}  // namespace pts::pvm

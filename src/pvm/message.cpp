@@ -1,6 +1,92 @@
 #include "pvm/message.hpp"
 
+#include <utility>
+
 namespace pts::pvm {
+
+const char* field_name(Field field) {
+  switch (field) {
+    case Field::None: return "none";
+    case Field::U32: return "u32";
+    case Field::U64: return "u64";
+    case Field::I64: return "i64";
+    case Field::F64: return "f64";
+    case Field::Bool: return "bool";
+    case Field::Str: return "string";
+    case Field::VecU32: return "vec<u32>";
+    case Field::VecF64: return "vec<f64>";
+  }
+  return "unknown";
+}
+
+Message Message::from_payload(int tag, std::vector<std::uint8_t> payload) {
+  Message msg(tag);
+  msg.buffer_ = std::move(payload);
+  return msg;
+}
+
+namespace {
+
+/// Payload size of a field body (marker byte excluded); for Str/Vec* this is
+/// the size of the 8-byte length prefix only — the variable part is checked
+/// against its decoded length. 0 = unknown marker.
+std::size_t fixed_body_size(std::uint8_t marker) {
+  switch (static_cast<Field>(marker)) {
+    case Field::U32: return sizeof(std::uint32_t);
+    case Field::U64: return sizeof(std::uint64_t);
+    case Field::I64: return sizeof(std::int64_t);
+    case Field::F64: return sizeof(double);
+    case Field::Bool: return sizeof(std::uint8_t);
+    case Field::Str:
+    case Field::VecU32:
+    case Field::VecF64: return sizeof(std::uint64_t);
+    case Field::None: return 0;
+  }
+  return 0;
+}
+
+std::size_t element_size(Field field) {
+  switch (field) {
+    case Field::VecU32: return sizeof(std::uint32_t);
+    case Field::VecF64: return sizeof(double);
+    default: return 1;  // Str
+  }
+}
+
+}  // namespace
+
+Field Message::peek_field() const {
+  if (cursor_ >= buffer_.size()) return Field::None;
+  const auto marker = buffer_[cursor_];
+  if (marker < static_cast<std::uint8_t>(Field::U32) ||
+      marker > static_cast<std::uint8_t>(Field::VecF64)) {
+    return Field::None;
+  }
+  return static_cast<Field>(marker);
+}
+
+bool Message::validate_layout() const {
+  std::size_t pos = 0;
+  while (pos < buffer_.size()) {
+    const auto marker = buffer_[pos];
+    const auto field = static_cast<Field>(marker);
+    if (field < Field::U32 || field > Field::VecF64) return false;
+    ++pos;
+    const std::size_t body = fixed_body_size(marker);
+    if (buffer_.size() - pos < body) return false;
+    if (field == Field::Str || field == Field::VecU32 || field == Field::VecF64) {
+      std::uint64_t n = 0;
+      std::memcpy(&n, buffer_.data() + pos, sizeof(n));
+      pos += sizeof(n);
+      const std::size_t elem = element_size(field);
+      if (n > (buffer_.size() - pos) / elem) return false;
+      pos += static_cast<std::size_t>(n) * elem;
+    } else {
+      pos += body;
+    }
+  }
+  return true;
+}
 
 void Message::put_raw(const void* data, std::size_t n) {
   if (n == 0) return;  // empty vector/string: data() may be null; memcpy UB

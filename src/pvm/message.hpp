@@ -19,6 +19,24 @@ namespace pts::pvm {
 using TaskId = std::int32_t;
 inline constexpr TaskId kNoTask = -1;
 
+/// Public mirror of the private field markers, used by the hardened decode
+/// path (peek_field / validate_layout): code that consumes untrusted bytes
+/// checks the next field's type before unpacking it, so a schema mismatch
+/// becomes a recoverable protocol error instead of a PTS_CHECK abort.
+enum class Field : std::uint8_t {
+  None = 0,  ///< end of buffer, or an unknown marker byte
+  U32,
+  U64,
+  I64,
+  F64,
+  Bool,
+  Str,
+  VecU32,
+  VecF64,
+};
+
+const char* field_name(Field field);
+
 class Message {
  public:
   Message() = default;
@@ -33,6 +51,26 @@ class Message {
   bool fully_consumed() const { return cursor_ == buffer_.size(); }
   /// Resets the read cursor so the message can be unpacked again.
   void rewind() { cursor_ = 0; }
+
+  /// Raw encoded payload (what a wire frame carries; see pvm/frame.hpp).
+  const std::vector<std::uint8_t>& bytes() const { return buffer_; }
+  /// Rebuilds a Message from wire bytes. The payload is adopted verbatim;
+  /// run validate_layout() before unpacking anything untrusted.
+  static Message from_payload(int tag, std::vector<std::uint8_t> payload);
+
+  // -- hardened decode (untrusted input) ------------------------------------
+  // unpack_* PTS_CHECK-aborts on a malformed buffer — correct for intra-
+  // process mailboxes where a mismatch is a programming error, fatal for a
+  // daemon fed attacker-controlled bytes. Untrusted consumers first call
+  // validate_layout() (every field complete and in-bounds), then gate each
+  // unpack on peek_field(); after both checks no unpack_* can abort.
+
+  /// Type of the next unread field without consuming it; Field::None at the
+  /// end of the buffer or on an unrecognized marker byte.
+  Field peek_field() const;
+  /// Walks the whole buffer (independent of the read cursor): true iff every
+  /// field has a known marker and its payload lies fully inside the buffer.
+  bool validate_layout() const;
 
   // -- packing ------------------------------------------------------------
   void pack_u64(std::uint64_t v) { pack_scalar(Marker::U64, v); }

@@ -1,0 +1,298 @@
+#include "service/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace pts::service {
+
+namespace {
+
+bool send_all(int fd, const std::uint8_t* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += static_cast<std::size_t>(n);
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void set_error(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_),
+      decoder_(std::move(other.decoder_)),
+      pending_(std::move(other.pending_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+    decoder_ = std::move(other.decoder_);
+    pending_ = std::move(other.pending_);
+  }
+  return *this;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::connect_unix(const std::string& path, std::string* error) {
+  if (path.size() >= sizeof(sockaddr_un::sun_path)) {
+    set_error(error, "unix socket path too long: " + path);
+    return false;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    set_error(error, std::string("socket(AF_UNIX): ") + std::strerror(errno));
+    return false;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    set_error(error, "connect(" + path + "): " + std::strerror(errno));
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  return true;
+}
+
+bool Client::connect_tcp(const std::string& host, std::uint16_t port,
+                         std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    set_error(error, std::string("socket(AF_INET): ") + std::strerror(errno));
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    set_error(error, "invalid IPv4 address: " + host);
+    ::close(fd);
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    set_error(error,
+              "connect(" + host + ":" + std::to_string(port) +
+                  "): " + std::strerror(errno));
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  return true;
+}
+
+bool Client::send_message(const pvm::Message& msg, std::string* error) {
+  if (fd_ < 0) {
+    set_error(error, "not connected");
+    return false;
+  }
+  const std::vector<std::uint8_t> bytes = pvm::encode_frame(msg);
+  if (!send_all(fd_, bytes.data(), bytes.size())) {
+    set_error(error, std::string("send: ") + std::strerror(errno));
+    return false;
+  }
+  return true;
+}
+
+std::optional<pvm::Message> Client::read_message(std::string* error) {
+  if (fd_ < 0) {
+    set_error(error, "not connected");
+    return std::nullopt;
+  }
+  std::uint8_t buffer[64 * 1024];
+  while (true) {
+    if (auto msg = decoder_.next()) return msg;
+    if (decoder_.errored()) {
+      set_error(error, "protocol error from server: " + decoder_.error());
+      return std::nullopt;
+    }
+    const ssize_t n = ::read(fd_, buffer, sizeof(buffer));
+    if (n == 0) {
+      set_error(error, "server closed the connection");
+      return std::nullopt;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      set_error(error, std::string("read: ") + std::strerror(errno));
+      return std::nullopt;
+    }
+    decoder_.feed(buffer, static_cast<std::size_t>(n));
+  }
+}
+
+std::optional<WelcomeMsg> Client::hello(std::string* error) {
+  if (!send_message(encode(HelloMsg{}), error)) return std::nullopt;
+  while (true) {
+    auto msg = read_message(error);
+    if (!msg) return std::nullopt;
+    if (msg->tag() == kWelcome) {
+      WelcomeMsg welcome;
+      if (!decode(*msg, welcome)) {
+        set_error(error, "malformed welcome from server");
+        return std::nullopt;
+      }
+      return welcome;
+    }
+    if (msg->tag() == kError) {
+      ErrorMsg err;
+      set_error(error, decode(*msg, err) ? err.message : "server error");
+      return std::nullopt;
+    }
+    pending_.push_back(std::move(*msg));
+  }
+}
+
+std::optional<std::uint64_t> Client::submit(const JobRequest& job, bool stream,
+                                            std::uint64_t progress_stride,
+                                            std::string* error) {
+  SubmitMsg submit;
+  submit.spec_json = encode_spec(job);
+  submit.stream = stream;
+  submit.progress_stride = progress_stride;
+  if (!send_message(encode(submit), error)) return std::nullopt;
+  while (true) {
+    auto msg = read_message(error);
+    if (!msg) return std::nullopt;
+    switch (msg->tag()) {
+      case kSubmitOk: {
+        SubmitOkMsg ok;
+        if (!decode(*msg, ok)) {
+          set_error(error, "malformed submit-ok from server");
+          return std::nullopt;
+        }
+        return ok.session;
+      }
+      case kSubmitErr: {
+        SubmitErrMsg err;
+        set_error(error, decode(*msg, err) ? err.error : "submit rejected");
+        return std::nullopt;
+      }
+      case kError: {
+        ErrorMsg err;
+        set_error(error, decode(*msg, err) ? err.message : "server error");
+        return std::nullopt;
+      }
+      default: pending_.push_back(std::move(*msg));
+    }
+  }
+}
+
+bool Client::cancel(std::uint64_t session, bool* was_active, std::string* error) {
+  if (!send_message(encode(CancelMsg{session}), error)) return false;
+  while (true) {
+    auto msg = read_message(error);
+    if (!msg) return false;
+    if (msg->tag() == kCancelOk) {
+      CancelOkMsg ok;
+      if (!decode(*msg, ok) || ok.session != session) {
+        set_error(error, "malformed cancel-ok from server");
+        return false;
+      }
+      if (was_active != nullptr) *was_active = ok.was_active;
+      return true;
+    }
+    if (msg->tag() == kError) {
+      ErrorMsg err;
+      set_error(error, decode(*msg, err) ? err.message : "server error");
+      return false;
+    }
+    pending_.push_back(std::move(*msg));
+  }
+}
+
+std::optional<solver::SolveResult> Client::wait(
+    std::uint64_t session,
+    const std::function<void(const ProgressMsg&)>& on_progress,
+    std::string* error) {
+  // Replay buffered events first, then read from the wire; events that
+  // belong to other sessions go (back) to the buffer in arrival order.
+  std::deque<pvm::Message> buffered;
+  buffered.swap(pending_);
+  while (true) {
+    std::optional<pvm::Message> msg;
+    if (!buffered.empty()) {
+      msg = std::move(buffered.front());
+      buffered.pop_front();
+    } else {
+      msg = read_message(error);
+      if (!msg) {
+        pending_.insert(pending_.end(), std::make_move_iterator(buffered.begin()),
+                        std::make_move_iterator(buffered.end()));
+        return std::nullopt;
+      }
+    }
+    if (msg->tag() == kProgress) {
+      ProgressMsg progress;
+      if (decode(*msg, progress) && progress.session == session) {
+        if (on_progress) on_progress(progress);
+        continue;
+      }
+      msg->rewind();
+      pending_.push_back(std::move(*msg));
+      continue;
+    }
+    if (msg->tag() == kDone) {
+      DoneMsg done;
+      if (decode(*msg, done) && done.session == session) {
+        pending_.insert(pending_.end(),
+                        std::make_move_iterator(buffered.begin()),
+                        std::make_move_iterator(buffered.end()));
+        std::string decode_error;
+        auto result = decode_result(done.result_json, &decode_error);
+        if (!result) {
+          set_error(error, "malformed result from server: " + decode_error);
+          return std::nullopt;
+        }
+        return result;
+      }
+      msg->rewind();
+      pending_.push_back(std::move(*msg));
+      continue;
+    }
+    pending_.push_back(std::move(*msg));
+  }
+}
+
+bool Client::shutdown_server(std::string* error) {
+  if (!send_message(encode_shutdown(), error)) return false;
+  while (true) {
+    auto msg = read_message(error);
+    if (!msg) return false;
+    if (msg->tag() == kShutdownOk) return true;
+    if (msg->tag() == kError) {
+      ErrorMsg err;
+      set_error(error, decode(*msg, err) ? err.message : "server error");
+      return false;
+    }
+    pending_.push_back(std::move(*msg));
+  }
+}
+
+}  // namespace pts::service

@@ -1,0 +1,80 @@
+// Synchronous client for the ptsd daemon, shared by the pts_client CLI, the
+// ptsd_load generator, and the service tests.
+//
+// One Client owns one connection and is single-threaded: requests block
+// until their reply arrives. Because the daemon pushes kProgress / kDone
+// events for every session on the connection, replies can interleave with
+// stream traffic — events that are not the awaited reply are buffered and
+// replayed in order by the wait()/next_event() readers, so multiple
+// in-flight sessions per connection just work.
+//
+//   Client client;
+//   client.connect_unix("/tmp/ptsd.sock", &err);
+//   auto welcome = client.hello(&err);                 // capability handshake
+//   auto id = client.submit(job, /*stream=*/true, 0, &err);
+//   auto result = client.wait(*id, on_progress, &err); // SolveResult
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "pvm/frame.hpp"
+#include "service/codec.hpp"
+#include "service/proto.hpp"
+#include "solver/solver.hpp"
+
+namespace pts::service {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  bool connect_unix(const std::string& path, std::string* error);
+  bool connect_tcp(const std::string& host, std::uint16_t port, std::string* error);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Capability handshake; must be the first request on a connection.
+  std::optional<WelcomeMsg> hello(std::string* error);
+
+  /// Submits a job; returns the session id. `stream` / `progress_stride`
+  /// control kProgress pushes (see SubmitMsg).
+  std::optional<std::uint64_t> submit(const JobRequest& job, bool stream,
+                                      std::uint64_t progress_stride,
+                                      std::string* error);
+
+  /// Requests cancellation; `was_active` (optional out) reports whether the
+  /// session was still running.
+  bool cancel(std::uint64_t session, bool* was_active, std::string* error);
+
+  /// Blocks until the session's kDone arrives, invoking `on_progress` (may
+  /// be null) for its kProgress events. Events of other sessions stay
+  /// buffered for their own wait() calls.
+  std::optional<solver::SolveResult> wait(
+      std::uint64_t session,
+      const std::function<void(const ProgressMsg&)>& on_progress,
+      std::string* error);
+
+  /// Asks the daemon to drain and exit (acknowledged before the drain).
+  bool shutdown_server(std::string* error);
+
+ private:
+  bool send_message(const pvm::Message& msg, std::string* error);
+  /// Next frame from the wire (or the buffer); nullopt on EOF/error.
+  std::optional<pvm::Message> read_message(std::string* error);
+
+  int fd_ = -1;
+  pvm::FrameDecoder decoder_;
+  std::deque<pvm::Message> pending_;  ///< events read while awaiting a reply
+};
+
+}  // namespace pts::service

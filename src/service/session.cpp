@@ -1,0 +1,200 @@
+#include "service/session.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <utility>
+
+namespace pts::service {
+
+struct SessionManager::Session {
+  std::uint64_t id = 0;
+  std::uint64_t owner = 0;
+  bool stream = false;
+  std::uint64_t progress_stride = 0;
+  CancelToken token;
+  EventSink sink;
+  solver::SolveSpec spec;
+  std::thread thread;
+  /// Set (release) as the session thread's last touch of this struct; the
+  /// reaper reads it (acquire) and may join + destroy immediately after.
+  std::atomic<bool> finished{false};
+};
+
+namespace {
+
+/// Forwards engine progress into the session sink. Runs on the solve
+/// thread (Observer contract: callbacks are synchronous and read-only
+/// towards the engine).
+class StreamObserver final : public Observer {
+ public:
+  StreamObserver(std::uint64_t session, bool stream, std::uint64_t stride,
+                 const EventSink& sink)
+      : session_(session), stream_(stream), stride_(stride), sink_(sink) {}
+
+  void on_improvement(const Progress& progress) override {
+    if (!stream_) return;
+    emit(true, progress);
+  }
+
+  void on_iteration(const Progress& progress) override {
+    if (!stream_ || stride_ == 0) return;
+    if (++ticks_ % stride_ != 0) return;
+    emit(false, progress);
+  }
+
+ private:
+  void emit(bool improvement, const Progress& progress) {
+    SessionEvent event;
+    event.kind = SessionEvent::Kind::Progress;
+    event.session = session_;
+    event.improvement = improvement;
+    event.progress = progress;
+    sink_(std::move(event));
+  }
+
+  std::uint64_t session_;
+  bool stream_;
+  std::uint64_t stride_;
+  const EventSink& sink_;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace
+
+SessionManager::SessionManager(Options options) : options_(options) {}
+
+SessionManager::~SessionManager() { drain(); }
+
+std::uint64_t SessionManager::start(solver::SolveSpec spec, std::uint64_t owner,
+                                    bool stream, std::uint64_t progress_stride,
+                                    EventSink sink) {
+  auto session = std::make_unique<Session>();
+  session->owner = owner;
+  session->stream = stream;
+  session->progress_stride = progress_stride;
+  session->sink = std::move(sink);
+  session->spec = std::move(spec);
+  session->spec.stop.cancel = &session->token;
+
+  // Publication and spawn happen under one lock so every joiner (reap,
+  // cancel_owned, drain — all of which lock mutex_ before extracting a
+  // session) observes the thread member already assigned; a session can
+  // never be destroyed with its thread running. run_session only takes
+  // mutex_ at its very end, so spawning under the lock cannot deadlock.
+  const std::lock_guard<std::mutex> lock(mutex_);
+  reap_locked();
+  if (draining_) return 0;
+  std::size_t running = 0;
+  for (const auto& s : sessions_) {
+    if (!s->finished.load(std::memory_order_acquire)) ++running;
+  }
+  if (running >= options_.max_sessions) return 0;
+  session->id = next_id_++;
+  ++started_;
+
+  Session* raw = session.get();
+  sessions_.push_back(std::move(session));
+  raw->thread = std::thread([this, raw] { run_session(raw); });
+  return raw->id;
+}
+
+void SessionManager::run_session(Session* session) {
+  StreamObserver observer(session->id, session->stream, session->progress_stride,
+                          session->sink);
+  session->spec.observer = &observer;
+
+  solver::SolveResult result = solver::Solver().solve(session->spec);
+
+  SessionEvent done;
+  done.kind = SessionEvent::Kind::Done;
+  done.session = session->id;
+  done.result = std::move(result);
+  session->sink(std::move(done));
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++finished_count_;
+  }
+  // Last touch: after this store the reaper may destroy *session.
+  session->finished.store(true, std::memory_order_release);
+}
+
+void SessionManager::reap_locked() {
+  auto it = sessions_.begin();
+  while (it != sessions_.end()) {
+    Session& session = **it;
+    if (session.finished.load(std::memory_order_acquire)) {
+      if (session.thread.joinable()) session.thread.join();
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool SessionManager::cancel(std::uint64_t session_id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& session : sessions_) {
+    if (session->id != session_id) continue;
+    if (session->finished.load(std::memory_order_acquire)) return false;
+    session->token.cancel();
+    return true;
+  }
+  return false;
+}
+
+void SessionManager::cancel_owned(std::uint64_t owner) {
+  std::vector<std::unique_ptr<Session>> owned;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sessions_.begin();
+    while (it != sessions_.end()) {
+      if ((*it)->owner == owner) {
+        (*it)->token.cancel();
+        owned.push_back(std::move(*it));
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Join outside the lock: the session threads may be mid-sink (which can
+  // block on a slow socket) and must not stall unrelated submissions.
+  for (auto& session : owned) {
+    if (session->thread.joinable()) session->thread.join();
+  }
+}
+
+void SessionManager::drain() {
+  std::vector<std::unique_ptr<Session>> all;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+    for (auto& session : sessions_) session->token.cancel();
+    all.swap(sessions_);
+  }
+  for (auto& session : all) {
+    if (session->thread.joinable()) session->thread.join();
+  }
+}
+
+std::size_t SessionManager::active_sessions() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t running = 0;
+  for (const auto& session : sessions_) {
+    if (!session->finished.load(std::memory_order_acquire)) ++running;
+  }
+  return running;
+}
+
+std::uint64_t SessionManager::sessions_started() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return started_;
+}
+
+std::uint64_t SessionManager::sessions_finished() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return finished_count_;
+}
+
+}  // namespace pts::service

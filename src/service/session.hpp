@@ -1,0 +1,105 @@
+// Concurrent solve sessions over the pts::solver front door.
+//
+// A SessionManager runs N solves at once, each on its own thread with a
+// per-session CancelToken and an Observer that forwards progress into a
+// caller-supplied EventSink. The daemon builds one manager for the process;
+// each client connection owns the sessions it submitted (`owner`), so a
+// mid-solve disconnect cancels exactly that client's work.
+//
+// Threading contract:
+//  - start()/cancel()/cancel_owned()/drain()/counters are thread-safe.
+//  - The sink runs on the session's solve thread: any number of Progress
+//    events while the engine runs, then exactly one Done event carrying the
+//    SolveResult — also when the session was cancelled (the result then has
+//    stop_reason == Cancelled). Sinks synchronize their own downstream
+//    (the daemon serializes socket writes per connection).
+//  - cancel_owned()/drain() cancel cooperatively and then *join*: on return
+//    no sink of the affected sessions can fire again and their threads are
+//    gone — this is the "zero leaked sessions after drain" guarantee.
+//
+// Finished sessions are reaped (joined and erased) opportunistically from
+// the next mutating call, so a long-lived daemon does not accumulate dead
+// threads; drain() reaps everything.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "solver/solver.hpp"
+#include "support/run_control.hpp"
+
+namespace pts::service {
+
+struct SessionEvent {
+  enum class Kind { Progress, Done };
+  Kind kind = Kind::Progress;
+  std::uint64_t session = 0;
+  // Kind::Progress
+  bool improvement = false;
+  Progress progress;
+  // Kind::Done
+  solver::SolveResult result;
+};
+
+using EventSink = std::function<void(SessionEvent&&)>;
+
+class SessionManager {
+ public:
+  struct Options {
+    /// Running (unfinished) session cap; start() rejects beyond it.
+    std::size_t max_sessions = 256;
+  };
+
+  SessionManager() : SessionManager(Options()) {}
+  explicit SessionManager(Options options);
+  ~SessionManager();  // drains
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Starts a solve session. `spec` must have passed Solver::validate with
+  /// its netlist attached (the referenced netlist must outlive the manager);
+  /// spec.stop.cancel and spec.observer are overwritten with the session's
+  /// own. Returns the session id, or 0 when the manager is at max_sessions
+  /// or draining (0 is never a valid id).
+  std::uint64_t start(solver::SolveSpec spec, std::uint64_t owner, bool stream,
+                      std::uint64_t progress_stride, EventSink sink);
+
+  /// Requests cooperative cancellation. True if the session exists and had
+  /// not finished; the Done event still arrives (on the session thread).
+  bool cancel(std::uint64_t session);
+
+  /// Cancels and joins every session started with this owner. On return
+  /// none of their sinks can fire again.
+  void cancel_owned(std::uint64_t owner);
+
+  /// Cancels and joins everything, and rejects starts from now on.
+  void drain();
+
+  /// Sessions started but not yet finished (their threads may still be
+  /// seconds away from the next cancellation check point).
+  std::size_t active_sessions() const;
+  std::uint64_t sessions_started() const;
+  std::uint64_t sessions_finished() const;
+
+ private:
+  struct Session;
+
+  void run_session(Session* session);
+  /// Joins + erases finished sessions. Caller holds mutex_; joins are
+  /// instant because finished_ is set last on the session thread.
+  void reap_locked();
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t started_ = 0;
+  std::uint64_t finished_count_ = 0;
+  bool draining_ = false;
+};
+
+}  // namespace pts::service

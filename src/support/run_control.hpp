@@ -23,6 +23,17 @@ namespace pts {
 /// Cooperative cancellation. Share one token with a running engine (via
 /// StopConditions::cancel) and call cancel() from any thread; the engine
 /// returns at its next stop-check point with StopReason::Cancelled.
+///
+/// Cross-thread semantics: cancel() and cancelled() are safe to call
+/// concurrently from any number of threads while an engine runs. The flag
+/// uses relaxed atomics on purpose — cancellation is a *signal*, not a
+/// synchronization point: it guarantees the engine eventually observes the
+/// request (each stop check loads the flag), but it does NOT order any
+/// other memory. Publishing data to the solve thread alongside a cancel
+/// requires separate synchronization (the serving layer's SessionManager
+/// does this by joining the session thread before touching its result).
+/// cancel() is idempotent and may race the run's natural completion; the
+/// token must outlive every engine still holding a pointer to it.
 class CancelToken {
  public:
   void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
@@ -89,6 +100,17 @@ struct Progress {
 /// Progress callbacks. Invoked synchronously from the engine's driving
 /// thread (the master thread for the parallel engines); implementations
 /// must not mutate anything reachable from the engine.
+///
+/// Cross-thread semantics: all callbacks for one run arrive on ONE thread —
+/// the thread executing the engine's run loop — and never concurrently with
+/// each other, so an observer needs no internal locking against itself.
+/// That thread is not necessarily the thread that built the spec: when a
+/// solve is moved to a worker (as the serving layer's sessions do), the
+/// callbacks move with it, and an observer shared with other threads must
+/// synchronize its own state (e.g. the daemon's streaming observer hands
+/// events to a per-connection mutex-serialized writer). Callbacks stop
+/// before the engine's run() returns; after the solve thread is joined, no
+/// callback can be in flight. Blocking inside a callback blocks the solve.
 class Observer {
  public:
   virtual ~Observer() = default;

@@ -4,9 +4,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <thread>
 #include <vector>
 
+#include "pvm/frame.hpp"
 #include "pvm/machine.hpp"
 #include "pvm/mailbox.hpp"
 #include "pvm/message.hpp"
@@ -417,6 +419,174 @@ TEST(Vm, ManyMessagesStressOrdering) {
   }
   EXPECT_TRUE(vm.host().recv(2).has_value());
   vm.shutdown();
+}
+
+// -- hardened decode (peek_field / validate_layout / from_payload) ----------
+
+TEST(MessageHardened, PeekFieldTracksCursor) {
+  Message msg(1);
+  msg.pack_u32(7);
+  msg.pack_string("abc");
+  msg.pack_double_vector({1.0});
+
+  EXPECT_EQ(msg.peek_field(), Field::U32);
+  msg.unpack_u32();
+  EXPECT_EQ(msg.peek_field(), Field::Str);
+  msg.unpack_string();
+  EXPECT_EQ(msg.peek_field(), Field::VecF64);
+  msg.unpack_double_vector();
+  EXPECT_EQ(msg.peek_field(), Field::None);
+  EXPECT_TRUE(msg.fully_consumed());
+}
+
+TEST(MessageHardened, FromPayloadRoundTripsWireBytes) {
+  Message msg(9);
+  msg.pack_u64(42);
+  msg.pack_bool(false);
+
+  Message copy = Message::from_payload(msg.tag(), msg.bytes());
+  ASSERT_TRUE(copy.validate_layout());
+  EXPECT_EQ(copy.tag(), 9);
+  EXPECT_EQ(copy.unpack_u64(), 42u);
+  EXPECT_FALSE(copy.unpack_bool());
+  EXPECT_TRUE(copy.fully_consumed());
+}
+
+TEST(MessageHardened, ValidateLayoutRejectsMalformedBytes) {
+  // Unknown marker byte.
+  EXPECT_FALSE(Message::from_payload(1, {0xff}).validate_layout());
+  // Truncated scalar: U32 marker but only two payload bytes.
+  EXPECT_FALSE(Message::from_payload(1, {1, 0xaa, 0xbb}).validate_layout());
+  // String whose declared length runs past the buffer: Str marker (6),
+  // u32 length = 100, no bytes behind it.
+  EXPECT_FALSE(Message::from_payload(1, {6, 100, 0, 0, 0}).validate_layout());
+  // Vector whose element count would overflow size arithmetic: VecF64 (8),
+  // u32 count = 0xffffffff.
+  EXPECT_FALSE(
+      Message::from_payload(1, {8, 0xff, 0xff, 0xff, 0xff}).validate_layout());
+  // A well-formed buffer passes and peek sees the first field.
+  Message good(1);
+  good.pack_string("x");
+  Message adopted = Message::from_payload(1, good.bytes());
+  EXPECT_TRUE(adopted.validate_layout());
+  EXPECT_EQ(adopted.peek_field(), Field::Str);
+}
+
+// -- wire framing (frame.hpp) ------------------------------------------------
+
+TEST(Frame, EncodeDecodeRoundTrip) {
+  Message msg(17);
+  msg.pack_u64(123);
+  msg.pack_string("payload");
+
+  FrameDecoder decoder;
+  const auto bytes = encode_frame(msg);
+  EXPECT_EQ(bytes.size(), kFrameHeaderBytes + msg.byte_size());
+  ASSERT_TRUE(decoder.feed(bytes.data(), bytes.size()));
+
+  auto out = decoder.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->tag(), 17);
+  EXPECT_EQ(out->unpack_u64(), 123u);
+  EXPECT_EQ(out->unpack_string(), "payload");
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(Frame, ByteAtATimeFeedReassembles) {
+  // Partial reads at the harshest granularity: one byte per feed. The
+  // decoder must never yield a frame early and must yield exactly one at
+  // the end.
+  Message msg(3);
+  msg.pack_double(2.5);
+  msg.pack_u32_vector({9, 8, 7});
+  const auto bytes = encode_frame(msg);
+
+  FrameDecoder decoder;
+  for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+    ASSERT_TRUE(decoder.feed(&bytes[i], 1));
+    ASSERT_FALSE(decoder.next().has_value()) << "yielded early at byte " << i;
+  }
+  ASSERT_TRUE(decoder.feed(&bytes[bytes.size() - 1], 1));
+  auto out = decoder.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_DOUBLE_EQ(out->unpack_double(), 2.5);
+  EXPECT_EQ(out->unpack_u32_vector(), (std::vector<std::uint32_t>{9, 8, 7}));
+}
+
+TEST(Frame, ManyFramesPerChunkAndSplitTail) {
+  // Short-write shape: two full frames plus the front half of a third in
+  // one feed, then the rest.
+  std::vector<std::uint8_t> stream;
+  for (int tag = 1; tag <= 3; ++tag) {
+    Message msg(tag);
+    msg.pack_i64(tag * 10);
+    encode_frame(msg, stream);
+  }
+  const std::size_t split = stream.size() - 5;
+
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.feed(stream.data(), split));
+  auto first = decoder.next();
+  auto second = decoder.next();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(first->tag(), 1);
+  EXPECT_EQ(second->tag(), 2);
+  EXPECT_FALSE(decoder.next().has_value());
+
+  ASSERT_TRUE(decoder.feed(stream.data() + split, stream.size() - split));
+  auto third = decoder.next();
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(third->tag(), 3);
+  EXPECT_EQ(third->unpack_i64(), 30);
+}
+
+TEST(Frame, BadMagicIsStickyError) {
+  std::vector<std::uint8_t> junk(kFrameHeaderBytes, 0xab);
+  FrameDecoder decoder;
+  decoder.feed(junk.data(), junk.size());
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_TRUE(decoder.errored());
+  EXPECT_NE(decoder.error().find("magic"), std::string::npos);
+
+  // Sticky: even a valid frame afterwards is discarded.
+  Message msg(1);
+  msg.pack_u32(1);
+  const auto good = encode_frame(msg);
+  EXPECT_FALSE(decoder.feed(good.data(), good.size()));
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(Frame, ZeroLengthPayloadRejected) {
+  std::vector<std::uint8_t> header;
+  const std::uint32_t magic = kFrameMagic;
+  const std::int32_t tag = 5;
+  const std::uint32_t length = 0;
+  header.resize(kFrameHeaderBytes);
+  std::memcpy(header.data(), &magic, 4);
+  std::memcpy(header.data() + 4, &tag, 4);
+  std::memcpy(header.data() + 8, &length, 4);
+
+  FrameDecoder decoder;
+  decoder.feed(header.data(), header.size());
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_TRUE(decoder.errored());
+  EXPECT_NE(decoder.error().find("zero-length"), std::string::npos);
+}
+
+TEST(Frame, OversizedPayloadRejectedWithoutBuffering) {
+  // A hostile length field must be rejected from the header alone — the
+  // decoder never waits for (or allocates) the declared payload.
+  Message msg(2);
+  msg.pack_string("0123456789");  // payload > 8-byte cap below
+  const auto bytes = encode_frame(msg);
+
+  FrameDecoder decoder(/*max_payload=*/8);
+  decoder.feed(bytes.data(), kFrameHeaderBytes);  // header only
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_TRUE(decoder.errored());
+  EXPECT_NE(decoder.error().find("max_payload"), std::string::npos);
 }
 
 }  // namespace

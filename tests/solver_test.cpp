@@ -6,6 +6,7 @@
 // determinism_test).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -105,6 +106,29 @@ TEST(SolverRegistry, AllSevenBuiltinsRegistered) {
     EXPECT_FALSE(engine->description().empty());
   }
   EXPECT_EQ(find_engine("no-such-engine"), nullptr);
+}
+
+TEST(SolverRegistry, EngineNamesAreStableSortedOrder) {
+  // Clients (the ptsd capability handshake among them) rely on
+  // engine_names() being deterministic: lexicographically sorted, no
+  // duplicates, identical across calls.
+  const auto names = engine_names();
+  ASSERT_GE(names.size(), 7u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+  EXPECT_EQ(engine_names(), names);
+
+  // The seven builtins appear in their sorted positions.
+  const std::vector<std::string> builtins = {
+      "anneal",       "constructive",      "local",          "parallel-shared",
+      "parallel-sim", "parallel-threaded", "tabu"};
+  std::vector<std::string> present;
+  for (const auto& name : names) {
+    if (std::find(builtins.begin(), builtins.end(), name) != builtins.end()) {
+      present.push_back(name);
+    }
+  }
+  EXPECT_EQ(present, builtins);
 }
 
 namespace {
