@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "service/client.hpp"
@@ -24,7 +25,13 @@ constexpr const char kUsage[] =
     "usage: pts_client [--unix /tmp/ptsd.sock | --tcp --host 127.0.0.1 --port N]\n"
     "                  [--engines] [--circuit NAME] [--engine tabu] [--seed 1]\n"
     "                  [--iterations N] [--max-seconds S] [--target-cost C]\n"
-    "                  [--stream] [--stride 64] [--with-server] [--help]\n";
+    "                  [--stream] [--stride 64] [--with-server]\n"
+    "                  [--retries 0] [--connect-timeout 5] [--io-timeout 0]\n"
+    "                  [--deadline 0] [--help]\n"
+    "--retries N reconnects and re-submits (same request id, capped\n"
+    "exponential backoff) on transport failures; --connect-timeout /\n"
+    "--io-timeout bound connect and read waits in seconds (0 = none);\n"
+    "--deadline S asks the daemon to cancel the job after S wall seconds.\n";
 
 }  // namespace
 
@@ -44,6 +51,9 @@ int main(int argc, char** argv) {
   const std::string circuit = cli.get("circuit", "");
   const bool stream = cli.get_flag("stream");
   const auto stride = static_cast<std::uint64_t>(cli.get_int("stride", 64));
+  const auto retries = static_cast<std::size_t>(cli.get_int("retries", 0));
+  const double connect_timeout = cli.get_double("connect-timeout", 5.0);
+  const double io_timeout = cli.get_double("io-timeout", 0.0);
 
   JobRequest job;
   job.circuit = circuit;
@@ -54,6 +64,7 @@ int main(int argc, char** argv) {
   if (cli.has("target-cost")) {
     job.spec.stop.target_cost = cli.get_double("target-cost", 0.0);
   }
+  job.deadline_seconds = cli.get_double("deadline", 0.0);
   cli.reject_unused(kUsage);
 
   pts::set_log_level(pts::LogLevel::Warn);
@@ -72,8 +83,61 @@ int main(int argc, char** argv) {
     }
   }
 
-  Client client;
   std::string error;
+
+  // Fault-tolerant path: reconnect + re-submit with capped exponential
+  // backoff; the request id stays stable across attempts so the daemon log
+  // ties them together. Same-seed solves are bit-identical, so a retried
+  // job returns the same result the first attempt would have.
+  if (retries > 0 && !circuit.empty() && !list_engines) {
+    RetryPolicy policy;
+    policy.max_attempts = retries + 1;
+    policy.connect_timeout_seconds = connect_timeout;
+    policy.io_timeout_seconds = io_timeout;
+    std::optional<RetryingClient> retrying;
+    if (tcp) {
+      retrying.emplace(host, port, policy);
+    } else {
+      retrying.emplace(unix_path, policy);
+    }
+    std::size_t events = 0;
+    const auto result = retrying->solve(
+        job, stream, stride,
+        [&](const ProgressMsg& progress) {
+          ++events;
+          if (progress.improvement) {
+            std::printf("  iter %llu: best %.4f\n",
+                        static_cast<unsigned long long>(progress.iteration),
+                        progress.best_cost);
+          }
+        },
+        &error);
+    if (!result) {
+      std::fprintf(stderr, "pts_client: %s\n", error.c_str());
+      return 1;
+    }
+    const auto& stats = retrying->counters();
+    std::printf(
+        "done: initial %.4f -> best %.4f, %llu iterations, stop=%s, "
+        "%zu streamed events (attempts=%llu retries=%llu)\n",
+        result->initial_cost, result->best_cost,
+        static_cast<unsigned long long>(result->iterations),
+        pts::stop_reason_name(result->stop_reason), events,
+        static_cast<unsigned long long>(stats.attempts),
+        static_cast<unsigned long long>(stats.retries));
+    if (daemon) {
+      retrying->raw_client().close();
+      daemon->stop();
+      if (daemon->active_sessions() != 0) {
+        std::fprintf(stderr, "pts_client: self-hosted daemon leaked sessions\n");
+        return 1;
+      }
+    }
+    return 0;
+  }
+
+  Client client;
+  client.set_timeouts(connect_timeout, io_timeout);
   const bool connected = tcp ? client.connect_tcp(host, port, &error)
                              : client.connect_unix(unix_path, &error);
   if (!connected) {

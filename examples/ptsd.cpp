@@ -24,7 +24,11 @@ namespace {
 
 constexpr const char kUsage[] =
     "usage: ptsd [--unix /tmp/ptsd.sock] [--tcp] [--port 0]\n"
-    "            [--max-sessions 256] [--quiet] [--selfcheck] [--help]\n"
+    "            [--max-sessions 256] [--max-queued 64] [--deadline 0]\n"
+    "            [--quiet] [--selfcheck] [--help]\n"
+    "--max-queued bounds the FIFO admission queue behind the running cap\n"
+    "(0 = reject immediately when full); --deadline S applies a default\n"
+    "wall-clock deadline (queue wait + solve) to jobs without their own.\n"
     "--selfcheck starts the daemon on a private socket, runs one end-to-end\n"
     "solve through it, checks bit-identity against a direct solve, and\n"
     "drains; exit 0 = healthy.\n";
@@ -116,6 +120,8 @@ int main(int argc, char** argv) {
   const bool tcp = cli.get_flag("tcp");
   const auto port = static_cast<std::uint16_t>(cli.get_int("port", 0));
   const auto max_sessions = static_cast<std::size_t>(cli.get_int("max-sessions", 256));
+  const auto max_queued = static_cast<std::size_t>(cli.get_int("max-queued", 64));
+  const double deadline = cli.get_double("deadline", 0.0);
   const bool quiet = cli.get_flag("quiet");
   const bool run_selfcheck = cli.get_flag("selfcheck");
   cli.reject_unused(kUsage);
@@ -128,6 +134,8 @@ int main(int argc, char** argv) {
   config.tcp = tcp;
   config.tcp_port = port;
   config.max_sessions = max_sessions;
+  config.max_queued = max_queued;
+  config.session_deadline_seconds = deadline;
 
   pts::service::Daemon daemon(config);
   std::string error;

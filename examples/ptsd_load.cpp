@@ -21,9 +21,12 @@
 #include <thread>
 #include <vector>
 
+#include "experiments/workloads.hpp"
 #include "service/client.hpp"
 #include "service/daemon.hpp"
+#include "solver/solver.hpp"
 #include "support/cli.hpp"
+#include "support/fault.hpp"
 #include "support/log.hpp"
 
 namespace {
@@ -33,9 +36,17 @@ constexpr const char kUsage[] =
     "                 [--sessions 8] [--connections 4] [--circuit highway]\n"
     "                 [--engine tabu] [--iterations 50] [--seed-base 1]\n"
     "                 [--stream] [--stride 0] [--max-sessions 256]\n"
-    "                 [--sigterm-drain] [--min-completed 0] [--help]\n"
+    "                 [--max-queued 64] [--deadline 0]\n"
+    "                 [--sigterm-drain] [--min-completed 0]\n"
+    "                 [--chaos] [--chaos-seed 1] [--fault-rate 0.05]\n"
+    "                 [--retries 8] [--io-timeout 5] [--help]\n"
     "--sigterm-drain (needs --self-host) raises SIGTERM once --min-completed\n"
-    "sessions have finished and verifies the graceful drain.\n";
+    "sessions have finished and verifies the graceful drain.\n"
+    "--chaos (needs --self-host) installs a seeded fault plan on the process's\n"
+    "socket I/O (read/write errors, short reads/writes, connect failures) and\n"
+    "switches workers to retrying clients: every solve that succeeds — first\n"
+    "try or after reconnect — is checked bit-identical against a direct\n"
+    "same-seed in-process solve, and the drain must still leak zero sessions.\n";
 
 pts::service::Daemon* g_daemon = nullptr;
 
@@ -45,10 +56,37 @@ void handle_signal(int) {
 
 struct WorkerStats {
   std::size_t submitted = 0;
-  std::size_t completed = 0;  ///< Done with stop_reason != cancelled
+  std::size_t completed = 0;  ///< Done with stop_reason != cancelled/deadline
   std::size_t cancelled = 0;  ///< Done with stop_reason == cancelled
+  std::size_t deadline_expired = 0;  ///< Done with stop_reason == deadline-expired
   std::size_t torn_down = 0;  ///< connection closed by the drain before Done
+  std::size_t verified = 0;   ///< chaos: results checked against direct solve
+  // Per-error-class accounting (failures observed by this worker, plus the
+  // retrying client's own attempt counters in chaos mode).
+  std::uint64_t connect_refused = 0;
+  std::uint64_t resets_mid_stream = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t queue_full = 0;
+  std::uint64_t server_errors = 0;
+  std::uint64_t retries = 0;
   std::vector<std::string> errors;
+
+  /// Files an error string under its class counter.
+  void classify(const std::string& error) {
+    if (error.find("read timeout") != std::string::npos) {
+      ++timeouts;
+    } else if (error.find("queue full") != std::string::npos ||
+               error.find("draining") != std::string::npos) {
+      ++queue_full;
+    } else if (error.rfind("connect(", 0) == 0) {
+      ++connect_refused;
+    } else if (error.rfind("send: ", 0) == 0 || error.rfind("read: ", 0) == 0 ||
+               error == "server closed the connection") {
+      ++resets_mid_stream;
+    } else {
+      ++server_errors;
+    }
+  }
 };
 
 }  // namespace
@@ -75,13 +113,24 @@ int main(int argc, char** argv) {
   const auto stride = static_cast<std::uint64_t>(cli.get_int("stride", 0));
   const auto max_sessions = static_cast<std::size_t>(
       cli.get_int("max-sessions", static_cast<std::int64_t>(sessions) + 16));
+  const auto max_queued = static_cast<std::size_t>(cli.get_int("max-queued", 64));
+  const double deadline = cli.get_double("deadline", 0.0);
   const bool sigterm_drain = cli.get_flag("sigterm-drain");
   const auto min_completed = static_cast<std::uint64_t>(cli.get_int(
       "min-completed", sigterm_drain ? 1 : static_cast<std::int64_t>(sessions)));
+  const bool chaos = cli.get_flag("chaos");
+  const auto chaos_seed = static_cast<std::uint64_t>(cli.get_int("chaos-seed", 1));
+  const double fault_rate = cli.get_double("fault-rate", 0.05);
+  const auto retries = static_cast<std::size_t>(cli.get_int("retries", 8));
+  const double io_timeout = cli.get_double("io-timeout", 5.0);
   cli.reject_unused(kUsage);
 
   if (sigterm_drain && !self_host) {
     std::fprintf(stderr, "ptsd_load: --sigterm-drain requires --self-host\n");
+    return 2;
+  }
+  if (chaos && !self_host) {
+    std::fprintf(stderr, "ptsd_load: --chaos requires --self-host\n");
     return 2;
   }
   if (connections == 0 || sessions == 0) {
@@ -97,6 +146,8 @@ int main(int argc, char** argv) {
     DaemonConfig config;
     config.unix_path = unix_path;
     config.max_sessions = max_sessions;
+    config.max_queued = max_queued;
+    config.session_deadline_seconds = deadline;
     daemon = std::make_unique<Daemon>(config);
     std::string error;
     if (!daemon->start(&error)) {
@@ -105,6 +156,21 @@ int main(int argc, char** argv) {
     }
     g_daemon = daemon.get();
     std::signal(SIGTERM, handle_signal);
+  }
+
+  // Chaos mode: a seeded fault plan on every socket syscall in the process
+  // (client and daemon alike). Installed only around the load phase so the
+  // final accounting runs clean; the drain itself still has to cope.
+  pts::fault::SocketFaultConfig fault_config;
+  fault_config.read_error_rate = fault_rate;
+  fault_config.write_error_rate = fault_rate;
+  fault_config.short_read_rate = fault_rate;
+  fault_config.short_write_rate = fault_rate;
+  fault_config.connect_error_rate = fault_rate * 0.5;
+  std::unique_ptr<pts::fault::ScopedFaultInjection> injection;
+  if (chaos) {
+    injection = std::make_unique<pts::fault::ScopedFaultInjection>(chaos_seed,
+                                                                   fault_config);
   }
 
   std::atomic<bool> draining{false};
@@ -123,8 +189,74 @@ int main(int argc, char** argv) {
           ++mine.torn_down;
           return;
         }
+        mine.classify(error);
         mine.errors.push_back(context + ": " + error);
       };
+
+      auto make_job = [&](std::size_t s) {
+        JobRequest job;
+        job.circuit = circuit;
+        job.spec.engine = engine;
+        job.spec.seed = seed_base + s;
+        job.spec.tabu.iterations = iterations;
+        job.spec.local.max_iterations = iterations;
+        job.spec.stop.max_iterations = iterations;
+        job.deadline_seconds = deadline;
+        return job;
+      };
+
+      if (chaos) {
+        // One job at a time through a retrying client: reconnect + re-submit
+        // (same request id) on injected transport failures, then check each
+        // served result bit-identical to a direct same-seed solve.
+        RetryPolicy policy;
+        policy.max_attempts = retries + 1;
+        policy.initial_backoff_seconds = 0.01;
+        policy.max_backoff_seconds = 0.25;
+        policy.connect_timeout_seconds = 5.0;
+        policy.io_timeout_seconds = io_timeout;
+        RetryingClient retrying(unix_path, policy);
+        for (std::size_t s = w; s < sessions; s += connections) {
+          const JobRequest job = make_job(s);
+          ++mine.submitted;
+          std::string solve_error;
+          const auto result =
+              retrying.solve(job, stream, stride, nullptr, &solve_error);
+          if (!result) {
+            fail("solve(seed " + std::to_string(job.spec.seed) + ")",
+                 solve_error);
+            continue;
+          }
+          if (result->stop_reason == pts::StopReason::Cancelled) {
+            ++mine.cancelled;
+            continue;
+          }
+          if (result->stop_reason == pts::StopReason::DeadlineExpired) {
+            ++mine.deadline_expired;
+            continue;
+          }
+          ++mine.completed;
+          auto direct_spec = job.spec;
+          direct_spec.netlist = &pts::experiments::circuit(job.circuit);
+          const auto direct = pts::solver::Solver().solve(direct_spec);
+          ++mine.verified;
+          if (result->best_cost != direct.best_cost ||
+              result->best_slots != direct.best_slots ||
+              result->iterations != direct.iterations) {
+            mine.errors.push_back(
+                "seed " + std::to_string(job.spec.seed) +
+                ": served result diverges from direct same-seed solve");
+          }
+        }
+        const auto& rc = retrying.counters();
+        mine.retries += rc.retries;
+        mine.connect_refused += rc.connect_failures;
+        mine.resets_mid_stream += rc.resets_mid_stream;
+        mine.timeouts += rc.timeouts;
+        mine.queue_full += rc.queue_full;
+        mine.server_errors += rc.server_errors;
+        return;
+      }
 
       Client client;
       std::string error;
@@ -143,13 +275,7 @@ int main(int argc, char** argv) {
       // that is what keeps `sessions` solves concurrently resident serverside.
       std::vector<std::uint64_t> ids;
       for (std::size_t s = w; s < sessions; s += connections) {
-        JobRequest job;
-        job.circuit = circuit;
-        job.spec.engine = engine;
-        job.spec.seed = seed_base + s;
-        job.spec.tabu.iterations = iterations;
-        job.spec.local.max_iterations = iterations;
-        job.spec.stop.max_iterations = iterations;
+        const JobRequest job = make_job(s);
         const auto id = client.submit(job, stream, stride, &error);
         if (!id) {
           fail("submit", error);
@@ -166,6 +292,8 @@ int main(int argc, char** argv) {
         }
         if (result->stop_reason == pts::StopReason::Cancelled) {
           ++mine.cancelled;
+        } else if (result->stop_reason == pts::StopReason::DeadlineExpired) {
+          ++mine.deadline_expired;
         } else {
           ++mine.completed;
         }
@@ -200,7 +328,15 @@ int main(int argc, char** argv) {
     total.submitted += s.submitted;
     total.completed += s.completed;
     total.cancelled += s.cancelled;
+    total.deadline_expired += s.deadline_expired;
     total.torn_down += s.torn_down;
+    total.verified += s.verified;
+    total.connect_refused += s.connect_refused;
+    total.resets_mid_stream += s.resets_mid_stream;
+    total.timeouts += s.timeouts;
+    total.queue_full += s.queue_full;
+    total.server_errors += s.server_errors;
+    total.retries += s.retries;
     for (const auto& e : s.errors) total.errors.push_back(e);
   }
 
@@ -254,12 +390,35 @@ int main(int argc, char** argv) {
 
   std::printf(
       "%zu sessions over %zu connections on %s/%s: %zu completed, %zu "
-      "cancelled, %zu torn down in %.2fs (server started=%llu finished=%llu "
-      "leaked=%zu)%s\n",
+      "cancelled, %zu deadline-expired, %zu torn down in %.2fs (server "
+      "started=%llu finished=%llu leaked=%zu)%s%s\n",
       total.submitted, connections, circuit.c_str(), engine.c_str(),
-      total.completed, total.cancelled, total.torn_down, elapsed,
+      total.completed, total.cancelled, total.deadline_expired,
+      total.torn_down, elapsed,
       static_cast<unsigned long long>(server_started),
       static_cast<unsigned long long>(server_finished), leaked,
-      sigterm_drain ? " [sigterm drain]" : "");
+      sigterm_drain ? " [sigterm drain]" : "", chaos ? " [chaos]" : "");
+  std::printf(
+      "errors by class: connect-refused=%llu reset-mid-stream=%llu "
+      "timeout=%llu queue-full=%llu server-error=%llu (retries=%llu)\n",
+      static_cast<unsigned long long>(total.connect_refused),
+      static_cast<unsigned long long>(total.resets_mid_stream),
+      static_cast<unsigned long long>(total.timeouts),
+      static_cast<unsigned long long>(total.queue_full),
+      static_cast<unsigned long long>(total.server_errors),
+      static_cast<unsigned long long>(total.retries));
+  if (chaos) {
+    const auto injected = injection->plan().counters();
+    injection.reset();
+    std::printf(
+        "chaos: verified %zu results bit-identical; injected read-err=%llu "
+        "write-err=%llu connect-err=%llu short-read=%llu short-write=%llu\n",
+        total.verified,
+        static_cast<unsigned long long>(injected.read_errors),
+        static_cast<unsigned long long>(injected.write_errors),
+        static_cast<unsigned long long>(injected.connect_errors),
+        static_cast<unsigned long long>(injected.short_reads),
+        static_cast<unsigned long long>(injected.short_writes));
+  }
   return status;
 }

@@ -8,6 +8,7 @@
 #include "cost/evaluator.hpp"
 #include "parallel/policy.hpp"
 #include "pvm/machine.hpp"
+#include "support/fault.hpp"
 #include "support/run_control.hpp"
 #include "support/stats.hpp"
 #include "tabu/search.hpp"
@@ -88,6 +89,11 @@ struct PtsConfig {
   /// work unit at speed 1.0); 0 disables.
   double threaded_seconds_per_unit = 0.0;
 
+  /// Scripted TSW stall/death faults replayed by the sim engine (see
+  /// support/fault.hpp and SimEngine docs). Empty: the engine takes its
+  /// historical fault-free path, bit-identical to the goldens.
+  fault::WorkerFaultScript faults;
+
   /// Convenience: set both collection policies at once.
   void set_policy(CollectionPolicy policy, double threshold = 0.5) {
     master_policy = {policy, threshold};
@@ -113,6 +119,9 @@ struct PtsResult {
   /// Completed unless a caller-supplied stop condition fired first (stop
   /// checks run at global-iteration granularity in both engines).
   StopReason stop_reason = StopReason::Completed;
+  /// TSWs the master declared dead (missed their report deadline) and
+  /// whose cell ranges were redistributed; 0 on fault-free runs.
+  std::size_t workers_lost = 0;
 
   /// First time the global best reached `cost_threshold` (-1 if never);
   /// the paper's speedup uses t(1, x) / t(n, x) on this quantity.

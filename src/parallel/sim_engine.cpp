@@ -66,6 +66,7 @@ SimEngine::SimEngine(const netlist::Netlist& netlist, const PtsConfig& config)
         *tsw.eval, cfg.tabu, cfg.diversify, tsw_ranges[i],
         derive_stream(1000 + tsw_salt(i)));
     tsw.machine = machine_of(1 + i);
+    tsw.base_speed = tsw.machine.speed;
     tsw.time_rng = root.fork(2000 + i);
     tsw.clws.reserve(cfg.clws_per_tsw);
     for (std::size_t j = 0; j < cfg.clws_per_tsw; ++j) {
@@ -74,6 +75,7 @@ SimEngine::SimEngine(const netlist::Netlist& netlist, const PtsConfig& config)
       clw.algo_rng = derive_stream(3000 + tsw_salt(i) * 64 + j);
       clw.time_rng = root.fork(4000 + i * 64 + j);
       clw.machine = machine_of(1 + cfg.num_tsws + i * cfg.clws_per_tsw + j);
+      clw.base_speed = clw.machine.speed;
     }
   }
 }
@@ -182,12 +184,39 @@ PtsResult SimEngine::run(const RunControl& control) {
   };
   if (const auto reason = stop_check(0, 0.0)) result.stop_reason = *reason;
 
+  // Scripted fault handling is gated on `faults_on` throughout: a run with
+  // an empty script executes exactly the historical statement sequence, so
+  // fault-free trajectories stay bit-identical to the goldens.
+  const fault::WorkerFaultScript& faults = cfg.faults;
+  const bool faults_on = faults.enabled();
+
   double broadcast_time = costs.message_latency;  // Init hop to the TSWs
   for (std::size_t g = 0; result.stop_reason == StopReason::Completed &&
                           g < cfg.global_iterations;
        ++g) {
+    if (faults_on) {
+      // Fire scripted faults and apply stall scaling for this iteration.
+      for (const auto& f : faults.faults) {
+        if (f.at_iteration != g || f.worker >= tsws_.size()) continue;
+        SimTsw& victim = tsws_[f.worker];
+        if (victim.dead_task) continue;
+        if (f.kind == fault::WorkerFault::Kind::Death) {
+          victim.dead_task = true;
+        } else {
+          victim.stall_left = f.stall_iterations;
+          victim.stall_factor = f.stall_factor < 1.0 ? 1.0 : f.stall_factor;
+        }
+      }
+      for (SimTsw& tsw : tsws_) {
+        const double scale = tsw.stall_left > 0 ? tsw.stall_factor : 1.0;
+        tsw.machine.speed = tsw.base_speed / scale;
+        for (ClwSlot& clw : tsw.clws) clw.machine.speed = clw.base_speed / scale;
+      }
+    }
+
     // -- TSW phase (independent virtual timelines) ------------------------
     for (SimTsw& tsw : tsws_) {
+      if (faults_on && (tsw.lost || tsw.dead_task)) continue;
       tsw.clock = broadcast_time;
       if (g > 0) tsw.state->adopt(global_best_slots, global_best_tabu);
       tsw.state->begin_global_iteration();
@@ -198,52 +227,143 @@ PtsResult SimEngine::run(const RunControl& control) {
       for (std::size_t l = 0; l < cfg.local_iterations; ++l) {
         run_local_iteration(tsw);
       }
+      if (tsw.stall_left > 0) --tsw.stall_left;
     }
 
     // -- master collection ------------------------------------------------
-    std::vector<double> finish(tsws_.size());
-    for (std::size_t i = 0; i < tsws_.size(); ++i) {
-      finish[i] = tsws_[i].clock + costs.message_latency;  // report hop
-    }
-    std::vector<double> sorted = finish;
-    std::sort(sorted.begin(), sorted.end());
-    const std::size_t k = cfg.master_policy.reports_before_force(tsws_.size());
-    const double kth_arrival = sorted[k - 1];
-
     double collect_end;
-    for (std::size_t i = 0; i < tsws_.size(); ++i) {
-      SimTsw& tsw = tsws_[i];
-      tsw.was_cut = false;
-      if (k == tsws_.size() || finish[i] <= kth_arrival) {
-        tsw.report_time = finish[i];
-        tsw.report_cost = tsw.state->iteration_best_cost();
-        tsw.report_slots = tsw.state->iteration_best_slots();
-      } else {
-        // Straggler: forced at (kth arrival + force hop); it reports the
-        // best snapshot it had at that instant.
-        const double cutoff = kth_arrival + costs.message_latency;
-        tsw.was_cut = true;
-        tsw.report_time = cutoff + costs.message_latency;
-        if (const auto* snapshot = tsw.state->snapshot_at(cutoff)) {
-          tsw.report_cost = snapshot->cost;
-          tsw.report_slots = snapshot->slots;
+    if (!faults_on) {
+      std::vector<double> finish(tsws_.size());
+      for (std::size_t i = 0; i < tsws_.size(); ++i) {
+        finish[i] = tsws_[i].clock + costs.message_latency;  // report hop
+      }
+      std::vector<double> sorted = finish;
+      std::sort(sorted.begin(), sorted.end());
+      const std::size_t k = cfg.master_policy.reports_before_force(tsws_.size());
+      const double kth_arrival = sorted[k - 1];
+
+      for (std::size_t i = 0; i < tsws_.size(); ++i) {
+        SimTsw& tsw = tsws_[i];
+        tsw.was_cut = false;
+        if (k == tsws_.size() || finish[i] <= kth_arrival) {
+          tsw.report_time = finish[i];
+          tsw.report_cost = tsw.state->iteration_best_cost();
+          tsw.report_slots = tsw.state->iteration_best_slots();
         } else {
-          tsw.report_cost = std::numeric_limits<double>::infinity();
-          tsw.report_slots.clear();
+          // Straggler: forced at (kth arrival + force hop); it reports the
+          // best snapshot it had at that instant.
+          const double cutoff = kth_arrival + costs.message_latency;
+          tsw.was_cut = true;
+          tsw.report_time = cutoff + costs.message_latency;
+          if (const auto* snapshot = tsw.state->snapshot_at(cutoff)) {
+            tsw.report_cost = snapshot->cost;
+            tsw.report_slots = snapshot->slots;
+          } else {
+            tsw.report_cost = std::numeric_limits<double>::infinity();
+            tsw.report_slots.clear();
+          }
         }
       }
+      collect_end = 0.0;
+      for (const SimTsw& tsw : tsws_) {
+        collect_end = std::max(collect_end, tsw.report_time);
+      }
+      collect_end += master_machine.time_for(
+          costs.master_select_work * static_cast<double>(tsws_.size()),
+          master_time_rng);
+    } else {
+      // Fault-aware collection: only TSWs the master still believes in are
+      // expected to report; a report that would arrive past the deadline
+      // (earliest arrival + report_deadline) marks its TSW dead for good.
+      const double inf = std::numeric_limits<double>::infinity();
+      std::vector<std::size_t> live;
+      for (std::size_t i = 0; i < tsws_.size(); ++i) {
+        if (!tsws_[i].lost) live.push_back(i);
+      }
+      std::vector<double> finish(tsws_.size(), inf);
+      double min_finish = inf;
+      for (const std::size_t i : live) {
+        if (tsws_[i].dead_task) continue;
+        finish[i] = tsws_[i].clock + costs.message_latency;  // report hop
+        min_finish = std::min(min_finish, finish[i]);
+      }
+      const double deadline_base = min_finish == inf ? broadcast_time : min_finish;
+      const double deadline_instant =
+          deadline_base + std::max(faults.report_deadline, 0.0);
+      bool lost_this_round = false;
+      {
+        std::vector<std::size_t> survivors;
+        for (const std::size_t i : live) {
+          if (finish[i] > deadline_instant) {
+            tsws_[i].lost = true;
+            tsws_[i].dead_task = true;  // stop simulating an abandoned task
+            ++result.workers_lost;
+            lost_this_round = true;
+          } else {
+            survivors.push_back(i);
+          }
+        }
+        live.swap(survivors);
+      }
+      if (live.empty()) {
+        // Every worker is gone; the search ends with the best known so far.
+        result.best_vs_global.add(static_cast<double>(g), global_best_cost);
+        result.makespan = deadline_instant;
+        break;
+      }
+      if (lost_this_round) {
+        // Redistribute the movable cells among the survivors so the whole
+        // space stays covered by diversification.
+        const auto ranges = tabu::partition_cells(
+            setup_.netlist->num_movable(), live.size());
+        for (std::size_t idx = 0; idx < live.size(); ++idx) {
+          tsws_[live[idx]].state->set_diversify_range(ranges[idx]);
+        }
+      }
+
+      std::vector<double> sorted;
+      sorted.reserve(live.size());
+      for (const std::size_t i : live) sorted.push_back(finish[i]);
+      std::sort(sorted.begin(), sorted.end());
+      const std::size_t k = cfg.master_policy.reports_before_force(live.size());
+      const double kth_arrival = sorted[k - 1];
+
+      for (const std::size_t i : live) {
+        SimTsw& tsw = tsws_[i];
+        tsw.was_cut = false;
+        if (k == live.size() || finish[i] <= kth_arrival) {
+          tsw.report_time = finish[i];
+          tsw.report_cost = tsw.state->iteration_best_cost();
+          tsw.report_slots = tsw.state->iteration_best_slots();
+        } else {
+          const double cutoff = kth_arrival + costs.message_latency;
+          tsw.was_cut = true;
+          tsw.report_time = cutoff + costs.message_latency;
+          if (const auto* snapshot = tsw.state->snapshot_at(cutoff)) {
+            tsw.report_cost = snapshot->cost;
+            tsw.report_slots = snapshot->slots;
+          } else {
+            tsw.report_cost = inf;
+            tsw.report_slots.clear();
+          }
+        }
+      }
+      collect_end = 0.0;
+      for (const std::size_t i : live) {
+        collect_end = std::max(collect_end, tsws_[i].report_time);
+      }
+      // Declaring a death costs real waiting: the master sat out the full
+      // deadline before giving up on the missing report.
+      if (lost_this_round) collect_end = std::max(collect_end, deadline_instant);
+      collect_end += master_machine.time_for(
+          costs.master_select_work * static_cast<double>(live.size()),
+          master_time_rng);
     }
-    collect_end = 0.0;
-    for (const SimTsw& tsw : tsws_) {
-      collect_end = std::max(collect_end, tsw.report_time);
-    }
-    collect_end += master_machine.time_for(
-        costs.master_select_work * static_cast<double>(tsws_.size()),
-        master_time_rng);
 
     // -- selection + trajectory -------------------------------------------
     int winner = -1;
     for (std::size_t i = 0; i < tsws_.size(); ++i) {
+      if (tsws_[i].lost) continue;
       if (tsws_[i].report_cost < global_best_cost) {
         if (winner < 0 ||
             tsws_[i].report_cost <
@@ -256,6 +376,7 @@ PtsResult SimEngine::run(const RunControl& control) {
     // entered the system at its snapshot instant.
     std::vector<std::pair<double, double>> events;
     for (const SimTsw& tsw : tsws_) {
+      if (tsw.lost) continue;  // its reports never reached the master
       const double limit =
           tsw.was_cut ? tsw.report_time : std::numeric_limits<double>::infinity();
       for (const auto& snapshot : tsw.state->snapshots()) {

@@ -21,6 +21,16 @@
 // adding TSWs beyond the cluster capacity counter-productive — the paper's
 // Figure 8 "critical point" at 4 TSWs on 12 machines.
 //
+// Fault tolerance: PtsConfig::faults scripts TSW stall/death faults
+// (support/fault.hpp). A dead TSW stops producing reports; the master
+// declares any TSW whose report would arrive more than
+// `faults.report_deadline` virtual seconds after the earliest arrival dead,
+// removes it permanently, and re-partitions the movable cells among the
+// survivors (their diversification ranges), so the search completes on the
+// remaining workers. The recovery is fully deterministic given the script;
+// an empty script leaves the engine on its historical code path, so
+// fault-free trajectories are bit-identical to the goldens.
+//
 // Simulation fidelity notes (documented deviations, none affect reported
 // results):
 //  - A cut worker's RNG stream advances as if it had finished its
@@ -56,6 +66,7 @@ class SimEngine {
     Rng algo_rng;                  ///< candidate sampling
     Rng time_rng;                  ///< machine load jitter
     pvm::MachineProfile machine;   ///< effective profile (contention-scaled)
+    double base_speed = 1.0;       ///< machine.speed before stall scaling
     std::vector<double> step_end;  ///< per-step completion offsets
     ClwSlot(tabu::CellRange range, const tabu::CompoundParams& params)
         : search(range, params), algo_rng(0), time_rng(0) {}
@@ -66,6 +77,7 @@ class SimEngine {
     std::unique_ptr<TswState> state;
     std::vector<ClwSlot> clws;
     pvm::MachineProfile machine;  ///< effective profile (contention-scaled)
+    double base_speed = 1.0;      ///< machine.speed before stall scaling
     Rng time_rng{0};
     double clock = 0.0;      ///< this TSW's virtual time
     double report_time = 0.0;
@@ -73,6 +85,11 @@ class SimEngine {
     // Report content for the current global iteration:
     double report_cost = 0.0;
     std::vector<netlist::CellId> report_slots;
+    // Fault-injection state (only ever set when config.faults is enabled):
+    bool dead_task = false;         ///< Death fault fired; produces no reports
+    bool lost = false;              ///< master declared it dead; excluded
+    std::size_t stall_left = 0;     ///< global iterations still stalled
+    double stall_factor = 1.0;      ///< active slowdown while stalled
   };
 
   /// Simulates one local iteration of `tsw` (all its CLWs + selection);

@@ -129,6 +129,10 @@ class TswState {
   /// the number of forced swaps (work units for time accounting).
   std::size_t apply_diversification();
 
+  /// Reassigns the diversification range — used when a worker is lost and
+  /// the survivors re-partition the movable cells among themselves.
+  void set_diversify_range(tabu::CellRange range) { diversify_range_ = range; }
+
   /// Selects the best candidate (lowest cost, ties to the lowest index),
   /// runs the tabu/aspiration test and, if accepted, applies its swaps to
   /// the evaluator and records them in the tabu list.

@@ -3,10 +3,27 @@
 namespace pts::pvm {
 
 void Mailbox::deliver(Message message) {
+  if (fault_plan_ != nullptr) {
+    switch (fault_plan_->on_message()) {
+      case fault::FaultPlan::MessageDecision::Drop:
+        return;
+      case fault::FaultPlan::MessageDecision::Delay: {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!closed_) delayed_.push_back(std::move(message));
+        return;  // released by the next passed delivery
+      }
+      case fault::FaultPlan::MessageDecision::Pass:
+        break;
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (closed_) return;
     queue_.push_back(std::move(message));
+    if (!delayed_.empty()) {
+      queue_.push_back(std::move(delayed_.front()));
+      delayed_.pop_front();
+    }
   }
   cv_.notify_all();
 }

@@ -13,6 +13,7 @@
 #include <optional>
 
 #include "pvm/message.hpp"
+#include "support/fault.hpp"
 
 namespace pts::pvm {
 
@@ -21,7 +22,17 @@ inline constexpr int kAnyTag = -1;
 class Mailbox {
  public:
   /// Enqueues a message (no-op if the mailbox is closed).
+  ///
+  /// With a fault plan attached (set_fault_plan), each delivery first draws
+  /// a decision: Drop discards the message silently, Delay holds it back
+  /// until the next passed delivery (so a delayed message arrives *after* a
+  /// later one — reordering). Messages still held at close() are lost.
   void deliver(Message message);
+
+  /// Attaches a fault plan for message drop/delay injection (nullptr
+  /// detaches). Not thread-safe against concurrent deliver(): attach before
+  /// the producing threads start.
+  void set_fault_plan(fault::FaultPlan* plan) { fault_plan_ = plan; }
 
   /// Blocks for the first message whose tag matches `tag` (FIFO within the
   /// matching subset). Returns nullopt only when closed and no matching
@@ -45,6 +56,8 @@ class Mailbox {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
+  std::deque<Message> delayed_;  ///< held back by fault injection
+  fault::FaultPlan* fault_plan_ = nullptr;
   bool closed_ = false;
 };
 

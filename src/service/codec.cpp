@@ -185,7 +185,8 @@ bool series_from_json(const Value& value, const char* key, Series& out,
 bool stop_reason_from_name(const std::string& name, StopReason& out) {
   for (const StopReason reason :
        {StopReason::Completed, StopReason::IterationBudget, StopReason::TimeLimit,
-        StopReason::TargetCost, StopReason::TargetQuality, StopReason::Cancelled}) {
+        StopReason::TargetCost, StopReason::TargetQuality, StopReason::Cancelled,
+        StopReason::DeadlineExpired}) {
     if (name == stop_reason_name(reason)) {
       out = reason;
       return true;
@@ -204,6 +205,7 @@ json::Value spec_to_json(const JobRequest& job) {
   out.set("circuit", Value(job.circuit));
   out.set("engine", Value(spec.engine));
   out.set("seed", Value(static_cast<double>(spec.seed)));
+  out.set("deadline_seconds", Value(job.deadline_seconds));
 
   Value cost = Value::object();
   cost.set("num_paths", Value(static_cast<double>(spec.cost.num_paths)));
@@ -283,6 +285,7 @@ std::optional<JobRequest> spec_from_json(const json::Value& value,
   reader.read_string("circuit", job.circuit);
   reader.read_string("engine", spec.engine);
   reader.read_uint("seed", spec.seed);
+  reader.read_double("deadline_seconds", job.deadline_seconds);
 
   if (const Value* v = reader.read_object("cost")) {
     ObjectReader cost(*v, "spec.cost", err);

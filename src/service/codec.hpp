@@ -6,7 +6,8 @@
 // the name against the benchmark registry and attaches its own CancelToken /
 // Observer). Decoding is strict: unknown keys, wrong types, and out-of-range
 // numbers are errors, never silently ignored — the daemon must not accept a
-// spec it half-understood. Coverage: engine, circuit, seed, and the cost /
+// spec it half-understood. Coverage: engine, circuit, seed, the serving
+// deadline (deadline_seconds), and the cost /
 // tabu (incl. compound) / anneal / local / parallel (incl. diversify) /
 // shared / stop blocks. The parallel cluster, collection policies, and sim
 // cost model keep their defaults (they shape the emulation experiments, not
@@ -31,6 +32,10 @@ namespace pts::service {
 struct JobRequest {
   std::string circuit;
   solver::SolveSpec spec;
+  /// Serving-layer wall-clock deadline in seconds (queue wait + solve).
+  /// <= 0: use the daemon's default. An overdue session is cancelled and
+  /// finishes with stop_reason == DeadlineExpired.
+  double deadline_seconds = 0.0;
 };
 
 json::Value spec_to_json(const JobRequest& job);

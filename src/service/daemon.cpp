@@ -20,6 +20,7 @@
 #include "pvm/frame.hpp"
 #include "service/codec.hpp"
 #include "service/proto.hpp"
+#include "support/fault.hpp"
 #include "support/log.hpp"
 
 namespace pts::service {
@@ -28,11 +29,19 @@ namespace {
 
 /// write(2) until done; MSG_NOSIGNAL so a dead peer yields EPIPE, not
 /// SIGPIPE. False on any error (the caller marks the connection dead).
+/// Goes through the fault wrappers so chaos runs can inject short writes
+/// (absorbed by the loop) and hard failures; EAGAIN — injected or from a
+/// genuinely full send buffer — waits for writability and retries.
 bool send_all(int fd, const std::uint8_t* data, std::size_t size) {
   while (size > 0) {
-    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    const ssize_t n = fault::send(fd, data, size, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        pollfd pfd{fd, POLLOUT, 0};
+        ::poll(&pfd, 1, 100);
+        continue;
+      }
       return false;
     }
     data += static_cast<std::size_t>(n);
@@ -57,14 +66,17 @@ struct Daemon::Connection {
   std::atomic<bool> finished{false};  // reader exited; reapable
 
   /// Serialized frame write; shared by the reader thread (replies) and the
-  /// session threads (streamed events). Failures are sticky and silent —
-  /// the reader notices the disconnect via read() and tears down.
+  /// session threads (streamed events). Failures are sticky, and the socket
+  /// is shut down so the reader wakes up and tears the connection down —
+  /// a half-written reply leaves the stream unusable either way, and an
+  /// injected write error never trips the kernel's own disconnect path.
   void send_frame(const pvm::Message& msg) {
     if (write_failed.load(std::memory_order_relaxed)) return;
     const std::vector<std::uint8_t> bytes = pvm::encode_frame(msg);
     const std::lock_guard<std::mutex> lock(write_mutex);
     if (!send_all(fd, bytes.data(), bytes.size())) {
       write_failed.store(true, std::memory_order_relaxed);
+      ::shutdown(fd, SHUT_RDWR);
     }
   }
 };
@@ -73,7 +85,8 @@ struct Daemon::Connection {
 
 struct Daemon::Impl {
   explicit Impl(const DaemonConfig& config)
-      : manager(SessionManager::Options{config.max_sessions}) {}
+      : manager(SessionManager::Options{config.max_sessions,
+                                        config.max_queued}) {}
 
   SessionManager manager;
 
@@ -319,10 +332,14 @@ void Daemon::reader_loop(const std::shared_ptr<Connection>& connection) {
   std::vector<std::uint8_t> buffer(64 * 1024);
   bool alive = true;
   while (alive) {
-    const ssize_t n = ::read(connection->fd, buffer.data(), buffer.size());
+    const ssize_t n = fault::read(connection->fd, buffer.data(), buffer.size());
     if (n == 0) break;  // orderly EOF
     if (n < 0) {
       if (errno == EINTR) continue;
+      // EAGAIN can be injected by a fault plan (and cannot otherwise occur
+      // on these blocking sockets): transient, retry. Anything else — real
+      // or injected ECONNRESET — is a dead peer.
+      if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
       break;
     }
     decoder.feed(buffer.data(), static_cast<std::size_t>(n));
@@ -458,7 +475,11 @@ void Daemon::handle_submit(Connection& connection, const SubmitMsg& submit) {
     connection.send_frame(encode(SubmitErrMsg{"connection closing"}));
     return;
   }
-  const std::uint64_t id = impl.manager.start(
+  // Per-job deadline wins; otherwise the daemon default applies.
+  const double deadline = job->deadline_seconds > 0.0
+                              ? job->deadline_seconds
+                              : config_.session_deadline_seconds;
+  const auto started = impl.manager.start(
       std::move(job->spec), connection.id, submit.stream, submit.progress_stride,
       [conn](SessionEvent&& event) {
         if (event.kind == SessionEvent::Kind::Progress) {
@@ -476,17 +497,39 @@ void Daemon::handle_submit(Connection& connection, const SubmitMsg& submit) {
           done.result_json = encode_result(event.result);
           conn->send_frame(encode(done));
         }
-      });
-  if (id == 0) {
-    connection.send_frame(encode(SubmitErrMsg{"at capacity or draining"}));
-    return;
+      },
+      deadline);
+  switch (started.status) {
+    case SessionManager::StartStatus::Started:
+    case SessionManager::StartStatus::Queued: {
+      if (submit.request_id != 0) {
+        log_info("ptsd") << "connection " << connection.id << " request "
+                         << submit.request_id << " -> session " << started.id
+                         << (started.status == SessionManager::StartStatus::Queued
+                                 ? " (queued)"
+                                 : "");
+      }
+      SubmitOkMsg ok;
+      ok.session = started.id;
+      ok.queued = started.status == SessionManager::StartStatus::Queued;
+      connection.send_frame(encode(ok));
+      return;
+    }
+    case SessionManager::StartStatus::QueueFull:
+      connection.send_frame(encode(SubmitErrMsg{"queue full: retry later"}));
+      return;
+    case SessionManager::StartStatus::ShuttingDown:
+      connection.send_frame(encode(SubmitErrMsg{"daemon is draining"}));
+      return;
   }
-  connection.send_frame(encode(SubmitOkMsg{id}));
 }
 
 // -- counters ---------------------------------------------------------------
 
 std::size_t Daemon::active_sessions() const { return impl_->manager.active_sessions(); }
+std::size_t Daemon::queued_sessions() const {
+  return impl_->manager.queued_sessions();
+}
 std::uint64_t Daemon::sessions_started() const {
   return impl_->manager.sessions_started();
 }

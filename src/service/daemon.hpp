@@ -13,7 +13,12 @@
 //    field order, bad JSON, unknown circuit/engine) answer kError or
 //    kSubmitErr and the connection survives;
 //  - a mid-solve disconnect cancels and joins exactly that connection's
-//    sessions before the connection is torn down;
+//    sessions before the connection is torn down (queued sessions of the
+//    connection are discarded);
+//  - admission control: submissions beyond max_sessions join a bounded
+//    FIFO queue (kSubmitOk carries `queued`); beyond max_queued they get
+//    kSubmitErr "queue full". Sessions overrunning their wall-clock
+//    deadline are cancelled and finish with stop_reason deadline-expired;
 //  - stop() drains gracefully: stop accepting, cancel every session, join
 //    every thread — afterwards active_sessions() == 0 (no leaked sessions),
 //    which is what the SIGTERM path in the ptsd binary relies on.
@@ -43,6 +48,13 @@ struct DaemonConfig {
   std::uint16_t tcp_port = 0;
 
   std::size_t max_sessions = 256;
+  /// Bounded FIFO admission queue behind the running cap; submissions
+  /// beyond max_sessions + max_queued get kSubmitErr ("queue full").
+  std::size_t max_queued = 64;
+  /// Default wall-clock deadline (queue wait + solve) applied to jobs that
+  /// do not carry their own deadline_seconds; <= 0 = none. An overdue
+  /// session is cancelled and reports stop_reason == deadline-expired.
+  double session_deadline_seconds = 0.0;
   std::size_t max_payload = 64u << 20;
   std::string server_name = "ptsd";
 };
@@ -74,6 +86,7 @@ class Daemon {
   const std::string& unix_path() const { return config_.unix_path; }
 
   std::size_t active_sessions() const;
+  std::size_t queued_sessions() const;
   std::uint64_t sessions_started() const;
   std::uint64_t sessions_finished() const;
   std::uint64_t connections_accepted() const;

@@ -109,12 +109,14 @@ pvm::Message encode(const SubmitMsg& msg) {
   out.pack_string(msg.spec_json);
   out.pack_bool(msg.stream);
   out.pack_u64(msg.progress_stride);
+  out.pack_u64(msg.request_id);
   return out;
 }
 
 pvm::Message encode(const SubmitOkMsg& msg) {
   Message out(kSubmitOk);
   out.pack_u64(msg.session);
+  out.pack_bool(msg.queued);
   return out;
 }
 
@@ -195,12 +197,14 @@ bool decode(pvm::Message& msg, SubmitMsg& out) {
   reader.str(out.spec_json);
   reader.boolean(out.stream);
   reader.u64(out.progress_stride);
+  reader.u64(out.request_id);
   return reader.finish();
 }
 
 bool decode(pvm::Message& msg, SubmitOkMsg& out) {
   SafeReader reader(msg, kSubmitOk);
   reader.u64(out.session);
+  reader.boolean(out.queued);
   return reader.finish();
 }
 

@@ -12,8 +12,8 @@
 //   client                          daemon
 //   ------ kHello{version} ------->
 //   <----- kWelcome{version, name, engines, circuits}
-//   ------ kSubmit{spec_json, stream, stride} ->
-//   <----- kSubmitOk{session} | kSubmitErr{error}
+//   ------ kSubmit{spec_json, stream, stride, request_id} ->
+//   <----- kSubmitOk{session, queued} | kSubmitErr{error}
 //   <----- kProgress{session, ...}        (pushed while solving, if stream)
 //   <----- kDone{session, result_json}    (exactly once per session)
 //   ------ kCancel{session} ------>
@@ -74,10 +74,19 @@ struct SubmitMsg {
   /// Stream every Nth on_iteration callback (improvements always stream);
   /// 0 = improvements only.
   std::uint64_t progress_stride = 0;
+  /// Client-chosen id, stable across reconnect retries of the same job —
+  /// the daemon logs it so a chaos run's duplicate submissions can be
+  /// correlated. Retries are idempotent by construction (same-seed solves
+  /// are bit-identical and a lost connection cancels its sessions), so the
+  /// daemon does not dedupe on it. 0 = unset.
+  std::uint64_t request_id = 0;
 };
 
 struct SubmitOkMsg {
   std::uint64_t session = 0;
+  /// True: admitted to the bounded FIFO queue, not yet running; kProgress /
+  /// kDone arrive as usual once a slot frees up.
+  bool queued = false;
 };
 
 struct SubmitErrMsg {

@@ -1,10 +1,14 @@
 #include "service/session.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <mutex>
+#include <optional>
 #include <utility>
 
 namespace pts::service {
+
+using Clock = std::chrono::steady_clock;
 
 struct SessionManager::Session {
   std::uint64_t id = 0;
@@ -15,6 +19,11 @@ struct SessionManager::Session {
   EventSink sink;
   solver::SolveSpec spec;
   std::thread thread;
+  bool has_deadline = false;
+  Clock::time_point deadline{};
+  /// Set by the watchdog when the deadline fires; read on the session
+  /// thread to rewrite Cancelled into DeadlineExpired.
+  std::atomic<bool> deadline_hit{false};
   /// Set (release) as the session thread's last touch of this struct; the
   /// reaper reads it (acquire) and may join + destroy immediately after.
   std::atomic<bool> finished{false};
@@ -61,13 +70,41 @@ class StreamObserver final : public Observer {
 
 }  // namespace
 
-SessionManager::SessionManager(Options options) : options_(options) {}
+const char* SessionManager::start_status_name(StartStatus status) {
+  switch (status) {
+    case StartStatus::Started: return "started";
+    case StartStatus::Queued: return "queued";
+    case StartStatus::QueueFull: return "queue-full";
+    case StartStatus::ShuttingDown: return "shutting-down";
+  }
+  return "unknown";
+}
 
-SessionManager::~SessionManager() { drain(); }
+SessionManager::SessionManager(Options options) : options_(options) {
+  watchdog_ = std::thread([this] { watchdog_loop(); });
+}
 
-std::uint64_t SessionManager::start(solver::SolveSpec spec, std::uint64_t owner,
-                                    bool stream, std::uint64_t progress_stride,
-                                    EventSink sink) {
+SessionManager::~SessionManager() {
+  drain();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+std::size_t SessionManager::running_locked() const {
+  std::size_t running = 0;
+  for (const auto& s : sessions_) {
+    if (!s->finished.load(std::memory_order_acquire)) ++running;
+  }
+  return running;
+}
+
+SessionManager::StartResult SessionManager::start(
+    solver::SolveSpec spec, std::uint64_t owner, bool stream,
+    std::uint64_t progress_stride, EventSink sink, double deadline_seconds) {
   auto session = std::make_unique<Session>();
   session->owner = owner;
   session->stream = stream;
@@ -75,27 +112,47 @@ std::uint64_t SessionManager::start(solver::SolveSpec spec, std::uint64_t owner,
   session->sink = std::move(sink);
   session->spec = std::move(spec);
   session->spec.stop.cancel = &session->token;
+  if (deadline_seconds > 0.0) {
+    session->has_deadline = true;
+    session->deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(deadline_seconds));
+  }
 
   // Publication and spawn happen under one lock so every joiner (reap,
   // cancel_owned, drain — all of which lock mutex_ before extracting a
   // session) observes the thread member already assigned; a session can
   // never be destroyed with its thread running. run_session only takes
   // mutex_ at its very end, so spawning under the lock cannot deadlock.
-  const std::lock_guard<std::mutex> lock(mutex_);
-  reap_locked();
-  if (draining_) return 0;
-  std::size_t running = 0;
-  for (const auto& s : sessions_) {
-    if (!s->finished.load(std::memory_order_acquire)) ++running;
+  StartResult result;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    reap_locked();
+    if (draining_) {
+      result.status = StartStatus::ShuttingDown;
+      return result;
+    }
+    if (running_locked() < options_.max_sessions) {
+      session->id = next_id_++;
+      ++started_;
+      Session* raw = session.get();
+      sessions_.push_back(std::move(session));
+      raw->thread = std::thread([this, raw] { run_session(raw); });
+      result.status = StartStatus::Started;
+      result.id = raw->id;
+    } else if (queue_.size() < options_.max_queued) {
+      session->id = next_id_++;
+      result.status = StartStatus::Queued;
+      result.id = session->id;
+      queue_.push_back(std::move(session));
+    } else {
+      result.status = StartStatus::QueueFull;
+      return result;
+    }
   }
-  if (running >= options_.max_sessions) return 0;
-  session->id = next_id_++;
-  ++started_;
-
-  Session* raw = session.get();
-  sessions_.push_back(std::move(session));
-  raw->thread = std::thread([this, raw] { run_session(raw); });
-  return raw->id;
+  // A new deadline may be earlier than whatever the watchdog sleeps on.
+  watchdog_cv_.notify_all();
+  return result;
 }
 
 void SessionManager::run_session(Session* session) {
@@ -104,6 +161,11 @@ void SessionManager::run_session(Session* session) {
   session->spec.observer = &observer;
 
   solver::SolveResult result = solver::Solver().solve(session->spec);
+  if (session->deadline_hit.load(std::memory_order_relaxed) &&
+      result.stop_reason == StopReason::Cancelled) {
+    // The cancel came from the deadline watchdog, not the client.
+    result.stop_reason = StopReason::DeadlineExpired;
+  }
 
   SessionEvent done;
   done.kind = SessionEvent::Kind::Done;
@@ -114,9 +176,24 @@ void SessionManager::run_session(Session* session) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     ++finished_count_;
+    // Publishing finished under the lock lets promote_locked() see this
+    // slot as free; the reaper cannot run concurrently (it needs mutex_)
+    // and a post-unlock join merely waits for this thread's imminent exit.
+    session->finished.store(true, std::memory_order_release);
+    promote_locked();
   }
-  // Last touch: after this store the reaper may destroy *session.
-  session->finished.store(true, std::memory_order_release);
+}
+
+void SessionManager::promote_locked() {
+  while (!draining_ && !queue_.empty() &&
+         running_locked() < options_.max_sessions) {
+    std::unique_ptr<Session> session = std::move(queue_.front());
+    queue_.pop_front();
+    ++started_;
+    Session* raw = session.get();
+    sessions_.push_back(std::move(session));
+    raw->thread = std::thread([this, raw] { run_session(raw); });
+  }
 }
 
 void SessionManager::reap_locked() {
@@ -140,6 +217,14 @@ bool SessionManager::cancel(std::uint64_t session_id) {
     session->token.cancel();
     return true;
   }
+  for (const auto& session : queue_) {
+    if (session->id != session_id) continue;
+    // Cancelled while queued: the token is already set, so the eventual
+    // promotion runs a solve that stops at its first check point and the
+    // Done (stop_reason Cancelled) goes out as usual.
+    session->token.cancel();
+    return true;
+  }
   return false;
 }
 
@@ -157,6 +242,17 @@ void SessionManager::cancel_owned(std::uint64_t owner) {
         ++it;
       }
     }
+    // Queued sessions never started a thread; their owner is gone, so the
+    // Done nobody would receive is skipped and the slot simply freed.
+    auto qit = queue_.begin();
+    while (qit != queue_.end()) {
+      if ((*qit)->owner == owner) {
+        qit = queue_.erase(qit);
+      } else {
+        ++qit;
+      }
+    }
+    promote_locked();
   }
   // Join outside the lock: the session threads may be mid-sink (which can
   // block on a slow socket) and must not stall unrelated submissions.
@@ -170,6 +266,7 @@ void SessionManager::drain() {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     draining_ = true;
+    queue_.clear();
     for (auto& session : sessions_) session->token.cancel();
     all.swap(sessions_);
   }
@@ -178,13 +275,69 @@ void SessionManager::drain() {
   }
 }
 
+void SessionManager::watchdog_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!watchdog_stop_) {
+    std::optional<Clock::time_point> next;
+    const auto consider = [&](const Session& session) {
+      if (!session.has_deadline ||
+          session.deadline_hit.load(std::memory_order_relaxed) ||
+          session.finished.load(std::memory_order_acquire)) {
+        return;
+      }
+      if (!next || session.deadline < *next) next = session.deadline;
+    };
+    for (const auto& session : sessions_) consider(*session);
+    for (const auto& session : queue_) consider(*session);
+
+    const auto now = Clock::now();
+    if (next && *next <= now) {
+      const auto expire = [&](Session& session) {
+        if (!session.has_deadline ||
+            session.deadline_hit.load(std::memory_order_relaxed) ||
+            session.finished.load(std::memory_order_acquire) ||
+            session.deadline > now) {
+          return;
+        }
+        session.deadline_hit.store(true, std::memory_order_relaxed);
+        session.token.cancel();
+      };
+      for (const auto& session : sessions_) expire(*session);
+      for (const auto& session : queue_) expire(*session);
+      // An expired *queued* session would otherwise sit until a slot frees;
+      // promote it now (past the cap) so its DeadlineExpired Done goes out
+      // promptly — the solve stops at its first cancellation check.
+      auto qit = queue_.begin();
+      while (qit != queue_.end()) {
+        if ((*qit)->deadline_hit.load(std::memory_order_relaxed)) {
+          std::unique_ptr<Session> session = std::move(*qit);
+          qit = queue_.erase(qit);
+          ++started_;
+          Session* raw = session.get();
+          sessions_.push_back(std::move(session));
+          raw->thread = std::thread([this, raw] { run_session(raw); });
+        } else {
+          ++qit;
+        }
+      }
+      continue;
+    }
+    if (next) {
+      watchdog_cv_.wait_until(lock, *next);
+    } else {
+      watchdog_cv_.wait(lock);
+    }
+  }
+}
+
 std::size_t SessionManager::active_sessions() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  std::size_t running = 0;
-  for (const auto& session : sessions_) {
-    if (!session->finished.load(std::memory_order_acquire)) ++running;
-  }
-  return running;
+  return running_locked();
+}
+
+std::size_t SessionManager::queued_sessions() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
 }
 
 std::uint64_t SessionManager::sessions_started() const {

@@ -2,27 +2,42 @@
 //
 // A SessionManager runs N solves at once, each on its own thread with a
 // per-session CancelToken and an Observer that forwards progress into a
-// caller-supplied EventSink. The daemon builds one manager for the process;
-// each client connection owns the sessions it submitted (`owner`), so a
-// mid-solve disconnect cancels exactly that client's work.
+// caller-supplied EventSink. Submissions beyond the running cap land in a
+// bounded FIFO queue and are promoted as slots free up; beyond the queue
+// bound, start() reports QueueFull. The daemon builds one manager for the
+// process; each client connection owns the sessions it submitted (`owner`),
+// so a mid-solve disconnect cancels exactly that client's work.
+//
+// Deadlines: a session may carry a wall-clock deadline covering queue wait
+// plus solve time. A watchdog thread cancels overdue sessions cooperatively;
+// a solve that was still running (or still queued) when its deadline hit
+// finishes with stop_reason == DeadlineExpired instead of Cancelled, so
+// clients can tell "you ran out of time" from "you asked me to stop".
 //
 // Threading contract:
 //  - start()/cancel()/cancel_owned()/drain()/counters are thread-safe.
 //  - The sink runs on the session's solve thread: any number of Progress
 //    events while the engine runs, then exactly one Done event carrying the
 //    SolveResult — also when the session was cancelled (the result then has
-//    stop_reason == Cancelled). Sinks synchronize their own downstream
-//    (the daemon serializes socket writes per connection).
+//    stop_reason == Cancelled or DeadlineExpired). A *queued* session fires
+//    its Done the same way once promoted (an expired queued session is
+//    promoted just to emit its DeadlineExpired Done). Sinks synchronize
+//    their own downstream (the daemon serializes socket writes per
+//    connection).
 //  - cancel_owned()/drain() cancel cooperatively and then *join*: on return
 //    no sink of the affected sessions can fire again and their threads are
 //    gone — this is the "zero leaked sessions after drain" guarantee.
+//    Queued sessions of the affected owner are discarded without a Done
+//    (their connection is gone; nobody is listening).
 //
 // Finished sessions are reaped (joined and erased) opportunistically from
 // the next mutating call, so a long-lived daemon does not accumulate dead
 // threads; drain() reaps everything.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <thread>
@@ -49,8 +64,27 @@ using EventSink = std::function<void(SessionEvent&&)>;
 class SessionManager {
  public:
   struct Options {
-    /// Running (unfinished) session cap; start() rejects beyond it.
+    /// Running (unfinished) session cap; submissions beyond it queue.
     std::size_t max_sessions = 256;
+    /// Bounded FIFO admission queue; submissions beyond it are rejected
+    /// with StartStatus::QueueFull. 0 disables queueing entirely.
+    std::size_t max_queued = 64;
+  };
+
+  enum class StartStatus {
+    Started,       ///< running; id is valid
+    Queued,        ///< admitted to the FIFO queue; id is valid
+    QueueFull,     ///< running cap and queue are both full
+    ShuttingDown,  ///< drain() happened; no new work
+  };
+  static const char* start_status_name(StartStatus status);
+
+  struct StartResult {
+    StartStatus status = StartStatus::Started;
+    std::uint64_t id = 0;  ///< valid when accepted(); 0 otherwise
+    bool accepted() const {
+      return status == StartStatus::Started || status == StartStatus::Queued;
+    }
   };
 
   SessionManager() : SessionManager(Options()) {}
@@ -60,28 +94,34 @@ class SessionManager {
   SessionManager(const SessionManager&) = delete;
   SessionManager& operator=(const SessionManager&) = delete;
 
-  /// Starts a solve session. `spec` must have passed Solver::validate with
-  /// its netlist attached (the referenced netlist must outlive the manager);
-  /// spec.stop.cancel and spec.observer are overwritten with the session's
-  /// own. Returns the session id, or 0 when the manager is at max_sessions
-  /// or draining (0 is never a valid id).
-  std::uint64_t start(solver::SolveSpec spec, std::uint64_t owner, bool stream,
-                      std::uint64_t progress_stride, EventSink sink);
+  /// Starts (or queues) a solve session. `spec` must have passed
+  /// Solver::validate with its netlist attached (the referenced netlist
+  /// must outlive the manager); spec.stop.cancel and spec.observer are
+  /// overwritten with the session's own. `deadline_seconds` > 0 arms a
+  /// wall-clock deadline spanning queue wait + solve.
+  StartResult start(solver::SolveSpec spec, std::uint64_t owner, bool stream,
+                    std::uint64_t progress_stride, EventSink sink,
+                    double deadline_seconds = 0.0);
 
-  /// Requests cooperative cancellation. True if the session exists and had
-  /// not finished; the Done event still arrives (on the session thread).
+  /// Requests cooperative cancellation (running or queued). True if the
+  /// session exists and had not finished; the Done event still arrives (on
+  /// the session thread, after promotion for queued sessions).
   bool cancel(std::uint64_t session);
 
-  /// Cancels and joins every session started with this owner. On return
-  /// none of their sinks can fire again.
+  /// Cancels and joins every running session started with this owner, and
+  /// discards the owner's queued sessions. On return none of their sinks
+  /// can fire again.
   void cancel_owned(std::uint64_t owner);
 
-  /// Cancels and joins everything, and rejects starts from now on.
+  /// Cancels and joins everything, discards the queue, and rejects starts
+  /// from now on.
   void drain();
 
   /// Sessions started but not yet finished (their threads may still be
   /// seconds away from the next cancellation check point).
   std::size_t active_sessions() const;
+  /// Sessions admitted but still waiting for a running slot.
+  std::size_t queued_sessions() const;
   std::uint64_t sessions_started() const;
   std::uint64_t sessions_finished() const;
 
@@ -92,14 +132,24 @@ class SessionManager {
   /// Joins + erases finished sessions. Caller holds mutex_; joins are
   /// instant because finished_ is set last on the session thread.
   void reap_locked();
+  /// Moves queued sessions into free running slots. Caller holds mutex_.
+  void promote_locked();
+  /// Running (unfinished) sessions. Caller holds mutex_.
+  std::size_t running_locked() const;
+  void watchdog_loop();
 
   Options options_;
   mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<Session>> sessions_;
+  std::vector<std::unique_ptr<Session>> sessions_;  ///< running (+ reapable)
+  std::deque<std::unique_ptr<Session>> queue_;      ///< admitted, waiting
   std::uint64_t next_id_ = 1;
   std::uint64_t started_ = 0;
   std::uint64_t finished_count_ = 0;
   bool draining_ = false;
+
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+  std::thread watchdog_;
 };
 
 }  // namespace pts::service

@@ -52,6 +52,10 @@ enum class StopReason {
   TargetCost,
   TargetQuality,
   Cancelled,
+  /// The serving layer's wall-clock deadline expired; engines never return
+  /// this themselves — the SessionManager cancels the solve cooperatively
+  /// and rewrites the reason on the way out.
+  DeadlineExpired,
 };
 
 inline const char* stop_reason_name(StopReason reason) {
@@ -62,6 +66,7 @@ inline const char* stop_reason_name(StopReason reason) {
     case StopReason::TargetCost: return "target-cost";
     case StopReason::TargetQuality: return "target-quality";
     case StopReason::Cancelled: return "cancelled";
+    case StopReason::DeadlineExpired: return "deadline-expired";
   }
   return "unknown";
 }

@@ -2,10 +2,13 @@
 // profiles, and the threaded virtual machine.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "pvm/frame.hpp"
@@ -13,6 +16,7 @@
 #include "pvm/mailbox.hpp"
 #include "pvm/message.hpp"
 #include "pvm/vm.hpp"
+#include "support/rng.hpp"
 
 namespace pts::pvm {
 namespace {
@@ -540,6 +544,55 @@ TEST(Frame, ManyFramesPerChunkAndSplitTail) {
   ASSERT_TRUE(third.has_value());
   EXPECT_EQ(third->tag(), 3);
   EXPECT_EQ(third->unpack_i64(), 30);
+}
+
+TEST(Frame, SeededRandomSplitPointsDecodeIdentically) {
+  // Adversarial reassembly: the same multi-frame byte stream, fed in chunks
+  // cut at seeded-random split points, must decode to exactly the frames a
+  // single whole-stream feed yields — regardless of where the cuts land.
+  std::vector<std::uint8_t> stream;
+  for (int tag = 1; tag <= 8; ++tag) {
+    Message msg(tag);
+    msg.pack_u64(static_cast<std::uint64_t>(tag) * 1000003u);
+    msg.pack_string(std::string(static_cast<std::size_t>(tag * 7), 'x'));
+    msg.pack_double_vector({1.5, -2.25, static_cast<double>(tag)});
+    encode_frame(msg, stream);
+  }
+
+  const auto decode_all = [](FrameDecoder& decoder) {
+    std::vector<std::pair<int, std::vector<std::uint8_t>>> frames;
+    while (auto msg = decoder.next()) {
+      frames.emplace_back(msg->tag(), msg->bytes());
+    }
+    EXPECT_FALSE(decoder.errored());
+    return frames;
+  };
+
+  FrameDecoder reference_decoder;
+  ASSERT_TRUE(reference_decoder.feed(stream.data(), stream.size()));
+  const auto reference = decode_all(reference_decoder);
+  ASSERT_EQ(reference.size(), 8u);
+
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    FrameDecoder decoder;
+    std::vector<std::pair<int, std::vector<std::uint8_t>>> frames;
+    std::size_t offset = 0;
+    while (offset < stream.size()) {
+      // Chunk sizes from 1 byte (harshest) up to ~a frame and a half.
+      const std::size_t chunk = std::min<std::size_t>(
+          1 + static_cast<std::size_t>(rng.below(64)), stream.size() - offset);
+      ASSERT_TRUE(decoder.feed(stream.data() + offset, chunk));
+      for (auto& frame : decode_all(decoder)) frames.push_back(std::move(frame));
+      offset += chunk;
+    }
+    ASSERT_EQ(frames.size(), reference.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      EXPECT_EQ(frames[i].first, reference[i].first) << "seed " << seed;
+      EXPECT_EQ(frames[i].second, reference[i].second)
+          << "seed " << seed << " frame " << i;
+    }
+  }
 }
 
 TEST(Frame, BadMagicIsStickyError) {

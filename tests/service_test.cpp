@@ -30,6 +30,7 @@
 #include "service/proto.hpp"
 #include "service/session.hpp"
 #include "solver/solver.hpp"
+#include "support/fault.hpp"
 
 namespace pts::service {
 namespace {
@@ -316,12 +317,14 @@ TEST(SessionManager, RunsToDoneExactlyOnceAndMatchesDirect) {
   SessionManager manager;
   std::mutex mutex;
   std::vector<SessionEvent> events;
-  const auto id = manager.start(
+  const auto started = manager.start(
       highway_spec("tabu", 5, 60), /*owner=*/1, /*stream=*/true,
       /*progress_stride=*/0, [&](SessionEvent&& event) {
         const std::lock_guard<std::mutex> lock(mutex);
         events.push_back(std::move(event));
       });
+  ASSERT_EQ(started.status, SessionManager::StartStatus::Started);
+  const auto id = started.id;
   ASSERT_NE(id, 0u);
   // drain() *cancels*; to observe a natural completion, wait for the
   // session to finish on its own first.
@@ -347,11 +350,13 @@ TEST(SessionManager, RunsToDoneExactlyOnceAndMatchesDirect) {
 }
 
 TEST(SessionManager, EnforcesCapacityAndCancelDeliversCancelledDone) {
-  SessionManager manager(SessionManager::Options{/*max_sessions=*/1});
+  // max_queued = 0 disables the admission queue, restoring hard rejection.
+  SessionManager manager(
+      SessionManager::Options{/*max_sessions=*/1, /*max_queued=*/0});
   std::atomic<bool> done{false};
   std::atomic<int> done_events{0};
   SolveResult final_result;
-  const auto id = manager.start(
+  const auto started = manager.start(
       highway_spec("tabu", 3, 50'000'000), /*owner=*/1, /*stream=*/false, 0,
       [&](SessionEvent&& event) {
         if (event.kind == SessionEvent::Kind::Done) {
@@ -360,14 +365,19 @@ TEST(SessionManager, EnforcesCapacityAndCancelDeliversCancelledDone) {
           done.store(true);
         }
       });
+  ASSERT_EQ(started.status, SessionManager::StartStatus::Started);
+  const auto id = started.id;
   ASSERT_NE(id, 0u);
   EXPECT_EQ(manager.active_sessions(), 1u);
 
-  // At capacity: the second start is rejected with 0 (and no sink call).
+  // At capacity with no queue: the second start is rejected explicitly
+  // (and its sink never fires).
   const auto rejected = manager.start(
       highway_spec("tabu", 4, 10), /*owner=*/1, false, 0,
       [](SessionEvent&&) { FAIL() << "rejected session must not emit events"; });
-  EXPECT_EQ(rejected, 0u);
+  EXPECT_EQ(rejected.status, SessionManager::StartStatus::QueueFull);
+  EXPECT_FALSE(rejected.accepted());
+  EXPECT_EQ(rejected.id, 0u);
 
   EXPECT_TRUE(manager.cancel(id));
   manager.drain();
@@ -377,10 +387,120 @@ TEST(SessionManager, EnforcesCapacityAndCancelDeliversCancelledDone) {
   // Unknown / finished sessions report inactive.
   EXPECT_FALSE(manager.cancel(id));
   EXPECT_FALSE(manager.cancel(9999));
-  // Draining managers reject new sessions.
-  EXPECT_EQ(manager.start(highway_spec("tabu", 5, 10), 1, false, 0,
-                          [](SessionEvent&&) {}),
-            0u);
+  // Draining managers reject new sessions with their own status.
+  EXPECT_EQ(manager
+                .start(highway_spec("tabu", 5, 10), 1, false, 0,
+                       [](SessionEvent&&) {})
+                .status,
+            SessionManager::StartStatus::ShuttingDown);
+}
+
+TEST(SessionManager, QueuePromotesInFifoOrderAndResultsMatchDirect) {
+  SessionManager manager(
+      SessionManager::Options{/*max_sessions=*/1, /*max_queued=*/8});
+  std::mutex mutex;
+  std::vector<std::uint64_t> done_order;
+  std::vector<SolveResult> results;
+  auto sink = [&](SessionEvent&& event) {
+    if (event.kind != SessionEvent::Kind::Done) return;
+    const std::lock_guard<std::mutex> lock(mutex);
+    done_order.push_back(event.session);
+    results.push_back(std::move(event.result));
+  };
+
+  // Occupy the single slot, then queue three short jobs behind it.
+  const auto blocker = manager.start(highway_spec("tabu", 1, 50'000'000),
+                                     /*owner=*/1, false, 0, sink);
+  ASSERT_EQ(blocker.status, SessionManager::StartStatus::Started);
+  std::vector<std::uint64_t> queued_ids;
+  for (std::uint64_t seed = 10; seed < 13; ++seed) {
+    const auto queued =
+        manager.start(highway_spec("tabu", seed, 40), /*owner=*/1, false, 0, sink);
+    ASSERT_EQ(queued.status, SessionManager::StartStatus::Queued);
+    ASSERT_NE(queued.id, 0u);
+    queued_ids.push_back(queued.id);
+  }
+  EXPECT_EQ(manager.queued_sessions(), 3u);
+  EXPECT_EQ(manager.active_sessions(), 1u);
+
+  // Free the slot; the queue drains in admission order.
+  EXPECT_TRUE(manager.cancel(blocker.id));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (manager.sessions_finished() < 4 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  manager.drain();
+
+  ASSERT_EQ(done_order.size(), 4u);
+  EXPECT_EQ(done_order[0], blocker.id);
+  EXPECT_EQ(done_order[1], queued_ids[0]);
+  EXPECT_EQ(done_order[2], queued_ids[1]);
+  EXPECT_EQ(done_order[3], queued_ids[2]);
+  EXPECT_EQ(manager.queued_sessions(), 0u);
+
+  // A solve that waited in the queue is still bit-identical to a direct
+  // same-seed solve — queueing delays work, it must not change it.
+  const auto direct = solver::Solver().solve(highway_spec("tabu", 10, 40));
+  expect_deterministic_fields_eq(results[1], direct);
+}
+
+TEST(SessionManager, DeadlineExpiresRunningSessionWithReason) {
+  SessionManager manager;
+  std::atomic<bool> done{false};
+  SolveResult final_result;
+  const auto started = manager.start(
+      highway_spec("tabu", 2, 50'000'000), /*owner=*/1, false, 0,
+      [&](SessionEvent&& event) {
+        if (event.kind != SessionEvent::Kind::Done) return;
+        final_result = std::move(event.result);
+        done.store(true);
+      },
+      /*deadline_seconds=*/0.05);
+  ASSERT_EQ(started.status, SessionManager::StartStatus::Started);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!done.load() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  manager.drain();
+  ASSERT_TRUE(done.load());
+  // The watchdog cancelled it, and the reason says "out of time", not
+  // "the client asked".
+  EXPECT_EQ(final_result.stop_reason, StopReason::DeadlineExpired);
+}
+
+TEST(SessionManager, DeadlineExpiresQueuedSessionWithoutWaitingForSlot) {
+  SessionManager manager(
+      SessionManager::Options{/*max_sessions=*/1, /*max_queued=*/4});
+  std::atomic<bool> queued_done{false};
+  SolveResult queued_result;
+  const auto blocker = manager.start(highway_spec("tabu", 1, 50'000'000),
+                                     /*owner=*/1, false, 0,
+                                     [](SessionEvent&&) {});
+  ASSERT_EQ(blocker.status, SessionManager::StartStatus::Started);
+  const auto queued = manager.start(
+      highway_spec("tabu", 2, 40), /*owner=*/1, false, 0,
+      [&](SessionEvent&& event) {
+        if (event.kind != SessionEvent::Kind::Done) return;
+        queued_result = std::move(event.result);
+        queued_done.store(true);
+      },
+      /*deadline_seconds=*/0.05);
+  ASSERT_EQ(queued.status, SessionManager::StartStatus::Queued);
+
+  // The blocker never yields its slot, yet the queued session's deadline
+  // still produces a prompt DeadlineExpired Done.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!queued_done.load() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(queued_done.load());
+  EXPECT_EQ(queued_result.stop_reason, StopReason::DeadlineExpired);
+  manager.drain();
 }
 
 // -- daemon end to end -------------------------------------------------------
@@ -687,6 +807,148 @@ TEST_F(DaemonTest, ManySessionsAcrossConnectionsAllComplete) {
   }
   EXPECT_EQ(daemon_->sessions_finished(), kClients * kSessionsEach);
   EXPECT_EQ(daemon_->connections_accepted(), kClients);
+}
+
+TEST_F(DaemonTest, JobDeadlineExpiresOverdueSolveWithReason) {
+  auto client = connect();
+  std::string error;
+  ASSERT_TRUE(client.hello(&error).has_value()) << error;
+
+  JobRequest job;
+  job.circuit = "highway";
+  job.spec.engine = "tabu";
+  job.spec.seed = 1;
+  job.spec.tabu.iterations = 500'000'000;  // would run ~forever
+  job.deadline_seconds = 0.05;             // per-job deadline on the wire
+  const auto session = client.submit(job, false, 0, &error);
+  ASSERT_TRUE(session.has_value()) << error;
+  const auto result = client.wait(*session, nullptr, &error);
+  ASSERT_TRUE(result.has_value()) << error;
+  EXPECT_EQ(result->stop_reason, StopReason::DeadlineExpired);
+}
+
+TEST(DaemonQueue, QueuedSubmissionsCompleteAndOverflowIsRejected) {
+  DaemonConfig config;
+  config.unix_path = fresh_socket_path();
+  config.max_sessions = 1;
+  config.max_queued = 2;
+  Daemon daemon(config);
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+
+  Client client;
+  ASSERT_TRUE(client.connect_unix(config.unix_path, &error)) << error;
+  ASSERT_TRUE(client.hello(&error).has_value()) << error;
+
+  // Slot holder + two queued jobs; the kSubmitOk `queued` flag tells them
+  // apart. A fourth submission overflows the queue with a reasoned error.
+  JobRequest blocker;
+  blocker.circuit = "highway";
+  blocker.spec.engine = "tabu";
+  blocker.spec.seed = 1;
+  blocker.spec.tabu.iterations = 500'000'000;
+  bool queued = true;
+  const auto blocker_id = client.submit(blocker, false, 0, &error, &queued);
+  ASSERT_TRUE(blocker_id.has_value()) << error;
+  EXPECT_FALSE(queued);
+
+  JobRequest job;
+  job.circuit = "highway";
+  job.spec.engine = "tabu";
+  job.spec.tabu.iterations = 40;
+  std::vector<std::uint64_t> queued_ids;
+  for (std::uint64_t seed = 10; seed < 12; ++seed) {
+    job.spec.seed = seed;
+    const auto id = client.submit(job, false, 0, &error, &queued);
+    ASSERT_TRUE(id.has_value()) << error;
+    EXPECT_TRUE(queued);
+    queued_ids.push_back(*id);
+  }
+  job.spec.seed = 99;
+  EXPECT_FALSE(client.submit(job, false, 0, &error).has_value());
+  EXPECT_NE(error.find("queue full"), std::string::npos) << error;
+
+  // Free the slot; the queued jobs complete bit-identical to direct solves.
+  ASSERT_TRUE(client.cancel(*blocker_id, nullptr, &error)) << error;
+  ASSERT_TRUE(client.wait(*blocker_id, nullptr, &error).has_value()) << error;
+  for (std::size_t i = 0; i < queued_ids.size(); ++i) {
+    const auto served = client.wait(queued_ids[i], nullptr, &error);
+    ASSERT_TRUE(served.has_value()) << error;
+    const auto direct =
+        solver::Solver().solve(highway_spec("tabu", 10 + i, 40));
+    expect_deterministic_fields_eq(*served, direct);
+  }
+
+  client.close();
+  daemon.stop();
+  EXPECT_EQ(daemon.active_sessions(), 0u);
+  EXPECT_EQ(daemon.queued_sessions(), 0u);
+}
+
+TEST(DaemonChaos, RetriedSolvesAreBitIdenticalAndDrainLeaksNothing) {
+  // A seeded fault storm on every socket syscall in the process — daemon
+  // side included. The retrying client must still land every job, each
+  // result must match a direct same-seed solve exactly, and the drain must
+  // leave nothing behind.
+  // Error rates are per *syscall* and hit both sides of every socket, so a
+  // single attempt rolls the dice dozens of times; keep hard-error rates
+  // low enough that a retry budget of 15 virtually always lands the job.
+  // Short reads/writes only split transfers, so they can stay aggressive.
+  fault::SocketFaultConfig fault_config;
+  fault_config.read_error_rate = 0.02;
+  fault_config.write_error_rate = 0.02;
+  fault_config.short_read_rate = 0.2;
+  fault_config.short_write_rate = 0.2;
+  fault_config.connect_error_rate = 0.05;
+  fault::ScopedFaultInjection injection(/*seed=*/42, fault_config);
+
+  DaemonConfig config;
+  config.unix_path = fresh_socket_path();
+  Daemon daemon(config);
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+
+  RetryPolicy policy;
+  policy.max_attempts = 15;
+  policy.initial_backoff_seconds = 0.002;
+  policy.max_backoff_seconds = 0.05;
+  policy.connect_timeout_seconds = 5.0;
+  // io timeout off: injected EAGAINs then retry in place instead of being
+  // (mis)read as wall-clock timeouts, keeping the test deterministic-ish.
+  policy.io_timeout_seconds = 0.0;
+  RetryingClient retrying(config.unix_path, policy);
+
+  std::size_t completed = 0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    JobRequest job;
+    job.circuit = "highway";
+    job.spec.engine = "tabu";
+    job.spec.seed = seed;
+    job.spec.tabu.iterations = 60;
+    // No streaming: progress frames multiply the per-attempt syscall count
+    // (and thus the fault surface) without adding coverage here.
+    const auto served = retrying.solve(job, /*stream=*/false, /*stride=*/0,
+                                       nullptr, &error);
+    ASSERT_TRUE(served.has_value()) << "seed " << seed << ": " << error;
+    const auto direct =
+        solver::Solver().solve(highway_spec("tabu", seed, 60));
+    expect_deterministic_fields_eq(*served, direct);
+    ++completed;
+  }
+  EXPECT_EQ(completed, 6u);
+
+  // The storm actually happened (the plan injected faults somewhere).
+  const auto injected = injection.plan().counters();
+  EXPECT_GT(injected.short_reads + injected.short_writes +
+                injected.read_errors + injected.write_errors +
+                injected.connect_errors,
+            0u);
+
+  retrying.raw_client().close();
+  daemon.stop();
+  EXPECT_EQ(daemon.active_sessions(), 0u);
+  EXPECT_EQ(daemon.queued_sessions(), 0u);
+  EXPECT_EQ(daemon.sessions_started(), daemon.sessions_finished());
 }
 
 TEST(DaemonTcp, ServesOverLoopbackTcp) {
