@@ -40,7 +40,9 @@ BATCH_WIDTHS = {"BM_ProbeBatch4": 4, "BM_ProbeBatch8": 8,
 
 MACRO_KEYS = ("circuit", "gates", "nets", "pins", "logic_depth", "build_ms",
               "setup_ms", "probe_ns", "batch_probe_ns", "batch_speedup",
-              "engines", "shared_scaling")
+              "engines", "shared_scaling", "eco")
+ECO_KEYS = ("cold_trials", "warm_trials", "trials_ratio", "cold_best_cost",
+            "warm_initial_cost", "warm_best_cost", "warm_reached_target")
 MACRO_ENGINES = ("tabu", "anneal", "parallel-sim", "parallel-shared")
 MACRO_ENGINE_KEYS = ("wall_ms", "makespan_s", "initial_cost", "best_cost",
                      "best_quality", "tt50_s")
@@ -138,6 +140,14 @@ def run_macro(binary):
             if not point["speedup_vs_1"] > 0:
                 fail(f"MACRO entry {entry['circuit']} shared_scaling[{threads}]"
                      f" non-positive speedup_vs_1")
+        absent = [k for k in ECO_KEYS if k not in entry["eco"]]
+        if absent:
+            fail(f"MACRO entry {entry['circuit']} eco block missing counters "
+                 f"{absent}")
+        if not entry["eco"]["cold_trials"] > 0:
+            fail(f"MACRO entry {entry['circuit']} eco non-positive cold_trials")
+        if not entry["eco"]["trials_ratio"] >= 0:
+            fail(f"MACRO entry {entry['circuit']} eco negative trials_ratio")
         if not entry["build_ms"] > 0:
             fail(f"MACRO entry {entry['circuit']} non-positive build_ms")
         if not entry["batch_probe_ns"] > 0:
@@ -192,9 +202,11 @@ def main():
             speedups = ", ".join(
                 f"{t}T {scaling[t]['speedup_vs_1']:.2f}x"
                 for t in SCALING_THREADS)
+            eco = entry["eco"]
             print(f"  {circuit}: build {entry['build_ms']:.0f} ms, "
                   f"probe {entry['probe_ns']:.0f} ns/op, "
-                  f"shared scaling {speedups}")
+                  f"shared scaling {speedups}, "
+                  f"eco warm/cold trials {eco['trials_ratio']:.3f}")
     return 0
 
 

@@ -23,6 +23,8 @@
 // Each circuit additionally emits one `MACRO {json}` line; bench/dump_json.py
 // parses and schema-validates those into the BENCH_*.json perf trail.
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -111,6 +113,55 @@ std::vector<ScalingPoint> run_shared_scaling(const netlist::Netlist& nl,
     points.push_back(point);
   }
   return points;
+}
+
+struct EcoReport {
+  std::uint64_t cold_trials = 0;   ///< probes to finish the from-scratch run
+  std::uint64_t warm_trials = 0;   ///< probes to match its quality warm
+  double trials_ratio = 0.0;       ///< warm / cold (ECO acceptance: <= 0.5)
+  double cold_best_cost = 0.0;
+  double warm_initial_cost = 0.0;  ///< cost of the dislodged placement
+  double warm_best_cost = 0.0;
+  bool warm_reached_target = false;
+};
+
+// ECO mode: solve from scratch (the cold run), dislodge a handful of cells
+// from the solved placement (the "engineering change"), then re-solve warm
+// from the dislodged placement with the cold run's final cost as the stop
+// target. The counter pair (cold_trials, warm_trials) is the headline
+// warm-start claim: an ECO re-spin should match the cold run's quality in
+// a fraction of its search effort.
+EcoReport run_eco(const netlist::Netlist& nl,
+                  const bench::BenchOptions& options) {
+  solver::SolveSpec cold_spec = engine_spec(nl, "tabu", options);
+  cold_spec.tabu.iterations = options.smoke ? 40 : 160;
+  const solver::SolveResult cold = solver::Solver().solve(cold_spec);
+
+  auto dislodged = cold.best_slots;
+  Rng rng(7);
+  for (int i = 0; i < 6; ++i) {
+    const auto [a, b] = rng.distinct_pair(dislodged.size());
+    std::swap(dislodged[a], dislodged[b]);
+  }
+
+  solver::SolveSpec warm_spec = cold_spec;
+  warm_spec.initial_slots = std::move(dislodged);
+  // Tiny slack on the target: the cold best is tracked incrementally while
+  // the warm run evaluates from scratch, so bit-equality is not reachable.
+  warm_spec.stop.target_cost =
+      cold.best_cost + 1e-9 * std::abs(cold.best_cost);
+  const solver::SolveResult warm = solver::Solver().solve(warm_spec);
+
+  EcoReport eco;
+  eco.cold_trials = cold.stats.trials;
+  eco.warm_trials = warm.stats.trials;
+  eco.trials_ratio = static_cast<double>(warm.stats.trials) /
+                     std::max<double>(1.0, static_cast<double>(cold.stats.trials));
+  eco.cold_best_cost = cold.best_cost;
+  eco.warm_initial_cost = warm.initial_cost;
+  eco.warm_best_cost = warm.best_cost;
+  eco.warm_reached_target = warm.stop_reason == StopReason::TargetCost;
+  return eco;
 }
 
 }  // namespace
@@ -204,6 +255,7 @@ int main(int argc, char** argv) {
       engines.push_back(run_engine(nl, engine, options));
     }
     const std::vector<ScalingPoint> scaling = run_shared_scaling(nl, options);
+    const EcoReport eco = run_eco(nl, options);
 
     std::printf("%-10s %10.1f %10.1f %12.1f  batch8 %.1f ns/op (%.2fx)  ",
                 name.c_str(), build_ms, setup_ms, probe_ns, batch_probe_ns,
@@ -219,6 +271,11 @@ int main(int argc, char** argv) {
                   p.trials_per_s);
     }
     std::printf("\n");
+    std::printf(
+        "%-10s eco: cold %llu trials -> warm %llu trials (%.3fx)%s\n", "",
+        static_cast<unsigned long long>(eco.cold_trials),
+        static_cast<unsigned long long>(eco.warm_trials), eco.trials_ratio,
+        eco.warm_reached_target ? "" : "  [target NOT reached]");
 
     // Machine-readable line for bench/dump_json.py (schema-validated there).
     std::printf(
@@ -247,7 +304,15 @@ int main(int argc, char** argv) {
           i == 0 ? "" : ",", p.threads, p.makespan_s, p.trials_per_s,
           p.speedup_vs_1);
     }
-    std::printf("}}\n");
+    std::printf(
+        "},\"eco\":{\"cold_trials\":%llu,\"warm_trials\":%llu,"
+        "\"trials_ratio\":%.6f,\"cold_best_cost\":%.9g,"
+        "\"warm_initial_cost\":%.9g,\"warm_best_cost\":%.9g,"
+        "\"warm_reached_target\":%s}}\n",
+        static_cast<unsigned long long>(eco.cold_trials),
+        static_cast<unsigned long long>(eco.warm_trials), eco.trials_ratio,
+        eco.cold_best_cost, eco.warm_initial_cost, eco.warm_best_cost,
+        eco.warm_reached_target ? "true" : "false");
   }
   return 0;
 }

@@ -25,10 +25,13 @@ namespace {
 constexpr const char kUsage[] =
     "usage: ptsd [--unix /tmp/ptsd.sock] [--tcp] [--port 0]\n"
     "            [--max-sessions 256] [--max-queued 64] [--deadline 0]\n"
-    "            [--quiet] [--selfcheck] [--help]\n"
+    "            [--cache-entries 0] [--quiet] [--selfcheck] [--help]\n"
     "--max-queued bounds the FIFO admission queue behind the running cap\n"
     "(0 = reject immediately when full); --deadline S applies a default\n"
-    "wall-clock deadline (queue wait + solve) to jobs without their own.\n"
+    "wall-clock deadline (queue wait + solve) to jobs without their own;\n"
+    "--cache-entries N keeps an LRU of the last N deterministic results\n"
+    "(ECO mode) so a repeat submission is answered bit-identically without\n"
+    "running a solver (0 = off).\n"
     "--selfcheck starts the daemon on a private socket, runs one end-to-end\n"
     "solve through it, checks bit-identity against a direct solve, and\n"
     "drains; exit 0 = healthy.\n";
@@ -122,6 +125,8 @@ int main(int argc, char** argv) {
   const auto max_sessions = static_cast<std::size_t>(cli.get_int("max-sessions", 256));
   const auto max_queued = static_cast<std::size_t>(cli.get_int("max-queued", 64));
   const double deadline = cli.get_double("deadline", 0.0);
+  const auto cache_entries =
+      static_cast<std::size_t>(cli.get_int("cache-entries", 0));
   const bool quiet = cli.get_flag("quiet");
   const bool run_selfcheck = cli.get_flag("selfcheck");
   cli.reject_unused(kUsage);
@@ -136,6 +141,7 @@ int main(int argc, char** argv) {
   config.max_sessions = max_sessions;
   config.max_queued = max_queued;
   config.session_deadline_seconds = deadline;
+  config.cache_entries = cache_entries;
 
   pts::service::Daemon daemon(config);
   std::string error;

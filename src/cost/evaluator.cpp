@@ -196,6 +196,28 @@ void Evaluator::reset_placement(const std::vector<CellId>& cell_at_slot) {
   rebuild_all();
 }
 
+Evaluator::CheckpointState Evaluator::checkpoint() const {
+  CheckpointState st;
+  st.slots = placement_.slots();
+  st.hpwl_total = hpwl_.total();
+  const auto sums = timer_.wire_sums();
+  st.wire_sums.assign(sums.begin(), sums.end());
+  st.swaps_applied = swaps_applied_;
+  st.swaps_since_rebuild = swaps_since_rebuild_;
+  return st;
+}
+
+void Evaluator::restore_checkpoint(const CheckpointState& st) {
+  // reset_placement rebuilds boxes/positions/shadow exactly (stateless
+  // recomputes), then the drift-carrying accumulators are overwritten with
+  // the captured values and the rebuild cadence counter is reinstated.
+  reset_placement(st.slots);
+  hpwl_.restore_total(st.hpwl_total);
+  timer_.restore_wire_sums(st.wire_sums);
+  swaps_applied_ = static_cast<std::size_t>(st.swaps_applied);
+  swaps_since_rebuild_ = static_cast<std::size_t>(st.swaps_since_rebuild);
+}
+
 void Evaluator::refresh_shadow(std::span<const CellId> cells) {
   if (shadow_x_.empty()) return;
   const auto px = placement_.positions_x();

@@ -132,6 +132,27 @@ class Evaluator {
   /// Number of swaps applied since construction (diagnostics).
   std::size_t swaps_applied() const { return swaps_applied_; }
 
+  /// Everything needed to rebuild this evaluator's committed state bit for
+  /// bit. The slot permutation and the derived geometry are exact stateless
+  /// recomputes, but the running HPWL total and the per-path wire sums
+  /// carry incremental summation-order drift, and the rebuild cadence
+  /// depends on swaps_since_rebuild — so those are captured verbatim.
+  struct CheckpointState {
+    std::vector<netlist::CellId> slots;
+    double hpwl_total = 0.0;
+    std::vector<double> wire_sums;
+    std::uint64_t swaps_applied = 0;
+    std::uint64_t swaps_since_rebuild = 0;
+  };
+
+  CheckpointState checkpoint() const;
+
+  /// Restores a checkpoint() image: after this, every probe/apply/commit
+  /// produces bit-identical results to the evaluator the image was taken
+  /// from. Must be called on an evaluator built over the same netlist,
+  /// layout, paths, params, and goals.
+  void restore_checkpoint(const CheckpointState& st);
+
   /// Measures the objectives of the initial placement of a search and
   /// calibrates shared fuzzy goals from them.
   static FuzzyGoals calibrate_goals(const placement::Placement& initial,

@@ -1,13 +1,67 @@
 #include "netlist/io.hpp"
 
+#include <bit>
+#include <charconv>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "support/check.hpp"
 
 namespace pts::netlist {
+namespace {
+
+// Shortest decimal that round-trips to the same double, so
+// write -> parse -> write is a fixed point bit for bit.
+void print_double(std::ostream& os, double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  os.write(buf, static_cast<std::streamsize>(res.ptr - buf));
+}
+
+bool parse_double_token(const std::string& tok, double& out) {
+  const char* begin = tok.data();
+  const char* end = begin + tok.size();
+  const auto res = std::from_chars(begin, end, out);
+  return res.ec == std::errc{} && res.ptr == end && std::isfinite(out);
+}
+
+bool parse_int_token(const std::string& tok, int& out) {
+  const char* begin = tok.data();
+  const char* end = begin + tok.size();
+  const auto res = std::from_chars(begin, end, out);
+  return res.ec == std::errc{} && res.ptr == end;
+}
+
+// Cell/net records accumulated before any NetlistBuilder call, so every
+// invariant the builder would PTS_CHECK-abort on is rejected here first.
+struct ParsedCell {
+  std::string name;
+  CellKind kind = CellKind::Gate;
+  int width = 1;
+  double delay = 0.0;
+  double load = 0.0;
+  int out_net = -1;        // index into ParsedNet vector, -1 if none
+  std::size_t inputs = 0;  // sink occurrences across all nets
+};
+
+struct ParsedNet {
+  std::string name;
+  double weight = 1.0;
+  std::size_t driver = 0;
+  std::vector<std::size_t> sinks;
+};
+
+ParseResult error_result(std::string message) {
+  ParseResult r;
+  r.error = std::move(message);
+  return r;
+}
+
+}  // namespace
 
 void write_netlist(const Netlist& netlist, std::ostream& os) {
   os << "# pts netlist v1\n";
@@ -21,14 +75,18 @@ void write_netlist(const Netlist& netlist, std::ostream& os) {
         os << "po " << cell.name << "\n";
         break;
       case CellKind::Gate:
-        os << "gate " << cell.name << ' ' << cell.width << ' '
-           << cell.intrinsic_delay << ' ' << cell.load_factor << "\n";
+        os << "gate " << cell.name << ' ' << cell.width << ' ';
+        print_double(os, cell.intrinsic_delay);
+        os << ' ';
+        print_double(os, cell.load_factor);
+        os << "\n";
         break;
     }
   }
   for (const auto& net : netlist.nets()) {
-    os << "net " << net.name << ' ' << net.weight << ' '
-       << netlist.cell(net.driver).name;
+    os << "net " << net.name << ' ';
+    print_double(os, net.weight);
+    os << ' ' << netlist.cell(net.driver).name;
     for (CellId sink : net.sinks) os << ' ' << netlist.cell(sink).name;
     os << "\n";
   }
@@ -40,71 +98,205 @@ std::string to_net_format(const Netlist& netlist) {
   return os.str();
 }
 
-Netlist parse_netlist(std::istream& is) {
-  NetlistBuilder builder("unnamed");
+ParseResult try_parse_netlist(std::istream& is) {
+  std::string circuit_name = "unnamed";
   bool named = false;
-  std::unordered_map<std::string, CellId> cells;
+  std::vector<ParsedCell> cells;
+  std::vector<ParsedNet> nets;
+  std::unordered_map<std::string, std::size_t> cell_index;
+  std::unordered_set<std::string> all_names;  // cells and nets share one namespace
   std::string line;
   std::size_t line_no = 0;
 
   auto fail = [&](const std::string& why) {
-    PTS_CHECK_MSG(false, ("netlist parse error at line " +
-                          std::to_string(line_no) + ": " + why)
-                             .c_str());
-  };
-  auto lookup = [&](const std::string& name) -> CellId {
-    const auto it = cells.find(name);
-    if (it == cells.end()) fail("unknown cell '" + name + "'");
-    return it->second;
+    return error_result("netlist parse error at line " + std::to_string(line_no) +
+                        ": " + why);
   };
 
-  std::optional<NetlistBuilder> named_builder;
   while (std::getline(is, line)) {
     ++line_no;
     std::istringstream ls(line);
     std::string keyword;
     if (!(ls >> keyword) || keyword[0] == '#') continue;
 
-    NetlistBuilder& b = named_builder ? *named_builder : builder;
     if (keyword == "circuit") {
       std::string name;
-      if (!(ls >> name)) fail("circuit needs a name");
-      if (named) fail("duplicate circuit line");
-      PTS_CHECK_MSG(cells.empty(), "circuit line must precede cells");
-      named_builder.emplace(name);
+      if (!(ls >> name)) return fail("circuit needs a name");
+      if (named) return fail("duplicate circuit line");
+      if (!cells.empty()) return fail("circuit line must precede cells");
+      circuit_name = std::move(name);
       named = true;
-    } else if (keyword == "pi") {
+    } else if (keyword == "pi" || keyword == "po") {
       std::string name;
-      if (!(ls >> name)) fail("pi needs a name");
-      cells[name] = b.add_primary_input(name);
-    } else if (keyword == "po") {
-      std::string name;
-      if (!(ls >> name)) fail("po needs a name");
-      cells[name] = b.add_primary_output(name);
+      if (!(ls >> name)) return fail(keyword + " needs a name");
+      if (!all_names.insert(name).second)
+        return fail("duplicate name '" + name + "'");
+      ParsedCell c;
+      c.name = name;
+      c.kind = keyword == "pi" ? CellKind::PrimaryInput : CellKind::PrimaryOutput;
+      cell_index[name] = cells.size();
+      cells.push_back(std::move(c));
     } else if (keyword == "gate") {
-      std::string name;
-      int width = 0;
-      double delay = 0.0, load = 0.0;
-      if (!(ls >> name >> width >> delay >> load)) fail("malformed gate line");
-      cells[name] = b.add_gate(name, width, delay, load);
+      std::string name, width_tok, delay_tok, load_tok;
+      if (!(ls >> name >> width_tok >> delay_tok >> load_tok))
+        return fail("malformed gate line");
+      ParsedCell c;
+      if (!parse_int_token(width_tok, c.width) || c.width < 1)
+        return fail("gate '" + name + "' width must be a positive integer, got '" +
+                    width_tok + "'");
+      if (!parse_double_token(delay_tok, c.delay) || c.delay < 0.0)
+        return fail("gate '" + name +
+                    "' delay must be a finite non-negative number, got '" +
+                    delay_tok + "'");
+      if (!parse_double_token(load_tok, c.load) || c.load < 0.0)
+        return fail("gate '" + name +
+                    "' load must be a finite non-negative number, got '" +
+                    load_tok + "'");
+      if (!all_names.insert(name).second)
+        return fail("duplicate name '" + name + "'");
+      c.name = name;
+      c.kind = CellKind::Gate;
+      cell_index[name] = cells.size();
+      cells.push_back(std::move(c));
     } else if (keyword == "net") {
-      std::string name, driver;
-      double weight = 1.0;
-      if (!(ls >> name >> weight >> driver)) fail("malformed net line");
-      const NetId net = b.add_net(name, lookup(driver), weight);
+      std::string name, weight_tok, driver;
+      if (!(ls >> name >> weight_tok >> driver)) return fail("malformed net line");
+      ParsedNet n;
+      if (!parse_double_token(weight_tok, n.weight) || !(n.weight > 0.0))
+        return fail("net '" + name +
+                    "' weight must be a finite positive number, got '" +
+                    weight_tok + "'");
+      if (!all_names.insert(name).second)
+        return fail("duplicate name '" + name + "'");
+      const auto dit = cell_index.find(driver);
+      if (dit == cell_index.end()) return fail("unknown cell '" + driver + "'");
+      ParsedCell& d = cells[dit->second];
+      if (d.kind == CellKind::PrimaryOutput)
+        return fail("PO '" + driver + "' cannot drive a net");
+      if (d.out_net >= 0)
+        return fail("cell '" + driver + "' already drives a net");
+      n.name = name;
+      n.driver = dit->second;
       std::string sink;
-      std::size_t sinks = 0;
       while (ls >> sink) {
-        b.connect_input(net, lookup(sink));
-        ++sinks;
+        const auto sit = cell_index.find(sink);
+        if (sit == cell_index.end()) return fail("unknown cell '" + sink + "'");
+        if (sit->second == n.driver)
+          return fail("net '" + name + "' is a self-loop on '" + sink + "'");
+        ParsedCell& s = cells[sit->second];
+        if (s.kind == CellKind::PrimaryInput)
+          return fail("PI '" + sink + "' cannot be a net sink");
+        ++s.inputs;
+        n.sinks.push_back(sit->second);
       }
-      if (sinks == 0) fail("net '" + name + "' has no sinks");
+      if (n.sinks.empty()) return fail("net '" + name + "' has no sinks");
+      d.out_net = static_cast<int>(nets.size());
+      nets.push_back(std::move(n));
     } else {
-      fail("unknown keyword '" + keyword + "'");
+      return fail("unknown keyword '" + keyword + "'");
     }
   }
-  return named_builder ? std::move(*named_builder).build()
-                       : std::move(builder).build();
+
+  // Whole-circuit structural checks (the finalize() invariants), reported as
+  // errors instead of the builder's aborts.
+  for (const ParsedCell& c : cells) {
+    switch (c.kind) {
+      case CellKind::PrimaryInput:
+        if (c.out_net < 0)
+          return error_result("netlist error: PI '" + c.name +
+                              "' does not drive a net");
+        break;
+      case CellKind::PrimaryOutput:
+        if (c.inputs != 1)
+          return error_result("netlist error: PO '" + c.name +
+                              "' must sink exactly one net, sinks " +
+                              std::to_string(c.inputs));
+        break;
+      case CellKind::Gate:
+        if (c.inputs == 0)
+          return error_result("netlist error: gate '" + c.name +
+                              "' has no inputs");
+        if (c.out_net < 0)
+          return error_result("netlist error: gate '" + c.name +
+                              "' does not drive a net");
+        break;
+    }
+  }
+
+  // Kahn acyclicity check, mirroring Netlist::finalize() (indegree counts
+  // sink occurrences, so duplicate pins are handled identically).
+  std::vector<std::size_t> indegree(cells.size(), 0);
+  for (const ParsedNet& n : nets) {
+    for (std::size_t sink : n.sinks) ++indegree[sink];
+  }
+  std::vector<std::size_t> frontier;
+  for (std::size_t id = 0; id < cells.size(); ++id) {
+    if (indegree[id] == 0) frontier.push_back(id);
+  }
+  std::size_t ordered = 0;
+  while (!frontier.empty()) {
+    const std::size_t id = frontier.back();
+    frontier.pop_back();
+    ++ordered;
+    if (cells[id].out_net < 0) continue;
+    for (std::size_t sink : nets[static_cast<std::size_t>(cells[id].out_net)].sinks) {
+      if (--indegree[sink] == 0) frontier.push_back(sink);
+    }
+  }
+  if (ordered != cells.size())
+    return error_result("netlist error: netlist contains a combinational cycle");
+
+  // Everything validated — no NetlistBuilder check can fire from here on.
+  NetlistBuilder builder(circuit_name);
+  std::vector<CellId> ids(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const ParsedCell& c = cells[i];
+    switch (c.kind) {
+      case CellKind::PrimaryInput:
+        ids[i] = builder.add_primary_input(c.name);
+        break;
+      case CellKind::PrimaryOutput:
+        ids[i] = builder.add_primary_output(c.name);
+        break;
+      case CellKind::Gate:
+        ids[i] = builder.add_gate(c.name, c.width, c.delay, c.load);
+        break;
+    }
+  }
+  for (const ParsedNet& n : nets) {
+    const NetId net = builder.add_net(n.name, ids[n.driver], n.weight);
+    for (std::size_t sink : n.sinks) builder.connect_input(net, ids[sink]);
+  }
+  ParseResult r;
+  r.netlist = std::move(builder).build();
+  return r;
+}
+
+ParseResult try_parse_netlist_string(const std::string& text) {
+  std::istringstream is(text);
+  return try_parse_netlist(is);
+}
+
+ParseResult try_load_netlist_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is.good())
+    return error_result("cannot open netlist file for reading: " + path);
+  return try_parse_netlist(is);
+}
+
+std::string try_save_netlist_file(const Netlist& netlist, const std::string& path) {
+  std::ofstream os(path);
+  if (!os.good()) return "cannot open netlist file for writing: " + path;
+  write_netlist(netlist, os);
+  os.flush();
+  if (!os.good()) return "failed writing netlist file: " + path;
+  return {};
+}
+
+Netlist parse_netlist(std::istream& is) {
+  ParseResult r = try_parse_netlist(is);
+  PTS_CHECK_MSG(r.ok(), r.error.c_str());
+  return std::move(*r.netlist);
 }
 
 Netlist parse_netlist_string(const std::string& text) {
@@ -113,15 +305,50 @@ Netlist parse_netlist_string(const std::string& text) {
 }
 
 void save_netlist_file(const Netlist& netlist, const std::string& path) {
-  std::ofstream os(path);
-  PTS_CHECK_MSG(os.good(), "cannot open netlist file for writing");
-  write_netlist(netlist, os);
+  const std::string err = try_save_netlist_file(netlist, path);
+  PTS_CHECK_MSG(err.empty(), err.c_str());
 }
 
 Netlist load_netlist_file(const std::string& path) {
-  std::ifstream is(path);
-  PTS_CHECK_MSG(is.good(), "cannot open netlist file for reading");
-  return parse_netlist(is);
+  ParseResult r = try_load_netlist_file(path);
+  PTS_CHECK_MSG(r.ok(), r.error.c_str());
+  return std::move(*r.netlist);
+}
+
+std::uint64_t content_hash(const Netlist& netlist) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a 64-bit offset basis
+  auto mix_bytes = [&h](const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ULL;  // FNV prime
+    }
+  };
+  auto mix_u64 = [&](std::uint64_t v) { mix_bytes(&v, sizeof(v)); };
+  auto mix_f64 = [&](double v) { mix_u64(std::bit_cast<std::uint64_t>(v)); };
+  auto mix_str = [&](const std::string& s) {
+    mix_u64(s.size());
+    mix_bytes(s.data(), s.size());
+  };
+
+  mix_str(netlist.name());
+  mix_u64(netlist.num_cells());
+  mix_u64(netlist.num_nets());
+  for (const auto& cell : netlist.cells()) {
+    mix_str(cell.name);
+    mix_u64(static_cast<std::uint64_t>(cell.kind));
+    mix_u64(static_cast<std::uint64_t>(cell.width));
+    mix_f64(cell.intrinsic_delay);
+    mix_f64(cell.load_factor);
+  }
+  for (const auto& net : netlist.nets()) {
+    mix_str(net.name);
+    mix_f64(net.weight);
+    mix_u64(net.driver);
+    mix_u64(net.sinks.size());
+    for (CellId sink : net.sinks) mix_u64(sink);
+  }
+  return h;
 }
 
 }  // namespace pts::netlist

@@ -102,6 +102,13 @@ class HpwlState {
   /// Full recomputation from the placement.
   void rebuild();
 
+  /// Overwrites the running total after a rebuild(), restoring a
+  /// checkpointed value. The incremental total drifts from the from-scratch
+  /// sum (summation order differs), so resuming a run bit-identically
+  /// requires reinstalling the exact total the interrupted run carried —
+  /// the boxes themselves are stateless recomputes and need no restore.
+  void restore_total(double total) { total_ = total; }
+
   /// From-scratch total for verification; does not modify state.
   double compute_fresh_total() const;
 

@@ -277,7 +277,8 @@ std::optional<WelcomeMsg> Client::hello(std::string* error) {
 std::optional<std::uint64_t> Client::submit(const JobRequest& job, bool stream,
                                             std::uint64_t progress_stride,
                                             std::string* error, bool* queued,
-                                            std::uint64_t request_id) {
+                                            std::uint64_t request_id,
+                                            bool* cached) {
   SubmitMsg submit;
   submit.spec_json = encode_spec(job);
   submit.stream = stream;
@@ -295,6 +296,7 @@ std::optional<std::uint64_t> Client::submit(const JobRequest& job, bool stream,
           return std::nullopt;
         }
         if (queued != nullptr) *queued = ok.queued;
+        if (cached != nullptr) *cached = ok.cached;
         return ok.session;
       }
       case kSubmitErr: {

@@ -55,12 +55,15 @@ class Client {
   /// Submits a job; returns the session id. `stream` / `progress_stride`
   /// control kProgress pushes (see SubmitMsg). `queued` (optional out)
   /// reports whether the job was queued rather than started; `request_id`
-  /// is forwarded for server-side retry correlation (0 = unset).
+  /// is forwarded for server-side retry correlation (0 = unset); `cached`
+  /// (optional out) reports a daemon result-cache hit — the returned
+  /// session id is then 0 and wait(0, ...) collects the kDone.
   std::optional<std::uint64_t> submit(const JobRequest& job, bool stream,
                                       std::uint64_t progress_stride,
                                       std::string* error,
                                       bool* queued = nullptr,
-                                      std::uint64_t request_id = 0);
+                                      std::uint64_t request_id = 0,
+                                      bool* cached = nullptr);
 
   /// Requests cancellation; `was_active` (optional out) reports whether the
   /// session was still running.

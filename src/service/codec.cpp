@@ -1,5 +1,6 @@
 #include "service/codec.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstring>
 
@@ -47,10 +48,14 @@ class ObjectReader {
 
   void read_double(const char* key, double& out) {
     if (const Value* v = known(key)) {
-      if (v->is_number()) {
+      if (v->is_number() && std::isfinite(v->as_number())) {
         out = v->as_number();
       } else {
-        fail(std::string(key) + " must be a number");
+        // Non-finite values cannot come off the wire (the JSON grammar has
+        // no NaN/Inf and the number parser rejects overflow), but an
+        // in-process Value can carry one; reject it so no spec or result
+        // with poisoned arithmetic gets past decoding.
+        fail(std::string(key) + " must be a finite number");
       }
     }
   }
@@ -71,10 +76,10 @@ class ObjectReader {
     if (const Value* v = known(key)) {
       if (v->is_null()) {
         out.reset();
-      } else if (v->is_number()) {
+      } else if (v->is_number() && std::isfinite(v->as_number())) {
         out = v->as_number();
       } else {
-        fail(std::string(key) + " must be a number or null");
+        fail(std::string(key) + " must be a finite number or null");
       }
     }
   }
@@ -162,9 +167,9 @@ bool series_from_json(const Value& value, const char* key, Series& out,
       dst.clear();
       dst.reserve(arr->items().size());
       for (const auto& item : arr->items()) {
-        if (!item.is_number()) {
+        if (!item.is_number() || !std::isfinite(item.as_number())) {
           error = std::string("result.") + key + "." + axis +
-                  " must contain only numbers";
+                  " must contain only finite numbers";
           return false;
         }
         dst.push_back(item.as_number());
@@ -206,6 +211,15 @@ json::Value spec_to_json(const JobRequest& job) {
   out.set("engine", Value(spec.engine));
   out.set("seed", Value(static_cast<double>(spec.seed)));
   out.set("deadline_seconds", Value(job.deadline_seconds));
+  if (!spec.initial_slots.empty()) {
+    // Warm start (ECO mode): omitted when empty so pre-existing encodings
+    // stay byte-stable.
+    Value slots = Value::array();
+    for (const netlist::CellId cell : spec.initial_slots) {
+      slots.push_back(Value(static_cast<double>(cell)));
+    }
+    out.set("initial_slots", std::move(slots));
+  }
 
   Value cost = Value::object();
   cost.set("num_paths", Value(static_cast<double>(spec.cost.num_paths)));
@@ -286,6 +300,17 @@ std::optional<JobRequest> spec_from_json(const json::Value& value,
   reader.read_string("engine", spec.engine);
   reader.read_uint("seed", spec.seed);
   reader.read_double("deadline_seconds", job.deadline_seconds);
+  if (const Value* slots = reader.read_array("initial_slots")) {
+    spec.initial_slots.reserve(slots->items().size());
+    for (const auto& item : slots->items()) {
+      const double n = item.is_number() ? item.as_number() : -1.0;
+      if (!(n >= 0.0 && n <= 4294967295.0) || std::nearbyint(n) != n) {
+        err = "spec.initial_slots must contain cell ids (u32)";
+        break;
+      }
+      spec.initial_slots.push_back(static_cast<netlist::CellId>(n));
+    }
+  }
 
   if (const Value* v = reader.read_object("cost")) {
     ObjectReader cost(*v, "spec.cost", err);
@@ -482,6 +507,31 @@ std::optional<solver::SolveResult> result_from_json(const json::Value& value,
     return std::nullopt;
   }
   return result;
+}
+
+// -- result cache keying ----------------------------------------------------
+
+bool spec_cacheable(const JobRequest& job) {
+  // A wall-clock stop condition makes the outcome depend on machine speed
+  // and load; every other stop reason is a pure function of the spec.
+  if (job.spec.stop.max_seconds > 0.0) return false;
+  // parallel-threaded races real threads (benches use parallel-sim for the
+  // deterministic trajectory); every other engine is deterministic per spec.
+  return job.spec.engine != "parallel-threaded";
+}
+
+std::string cache_key(const JobRequest& job, std::uint64_t circuit_hash) {
+  // Canonical form: the content hash pins the circuit *bytes* (the name in
+  // the spec only pins the registry entry), and the deadline is zeroed —
+  // it changes when a job is killed, never what it computes. spec_to_json
+  // emits members in one fixed order, so the dump is canonical.
+  JobRequest canonical = job;
+  canonical.deadline_seconds = 0.0;
+  char hex[17] = {};
+  const auto [end, ec] =
+      std::to_chars(hex, hex + sizeof(hex), circuit_hash, 16);
+  (void)ec;  // 16 digits always fit a u64
+  return std::string(hex, end) + "|" + encode_spec(canonical);
 }
 
 // -- string conveniences ----------------------------------------------------

@@ -18,6 +18,7 @@
 // the daemon-vs-direct bit-identity guarantee (tests/service_test.cpp).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -45,6 +46,17 @@ std::optional<JobRequest> spec_from_json(const json::Value& value,
 json::Value result_to_json(const solver::SolveResult& result);
 std::optional<solver::SolveResult> result_from_json(const json::Value& value,
                                                     std::string* error);
+
+/// True when the job's result is a pure function of the spec — no
+/// wall-clock stop condition and a deterministic engine — and therefore
+/// eligible for the daemon's result cache (ECO mode).
+bool spec_cacheable(const JobRequest& job);
+
+/// Canonical cache key for a cacheable job: the circuit's content hash
+/// (netlist::content_hash — the name alone would go stale if the registry
+/// entry changed) joined with the canonicalized spec JSON, deadline zeroed
+/// (a deadline changes when a job fails, not what it computes).
+std::string cache_key(const JobRequest& job, std::uint64_t circuit_hash);
 
 // String conveniences (parse + decode / encode + dump in one call).
 std::string encode_spec(const JobRequest& job);

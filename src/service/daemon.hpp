@@ -55,6 +55,11 @@ struct DaemonConfig {
   /// do not carry their own deadline_seconds; <= 0 = none. An overdue
   /// session is cancelled and reports stop_reason == deadline-expired.
   double session_deadline_seconds = 0.0;
+  /// Bounded LRU result cache (ECO mode): a resubmission of a cacheable
+  /// job (codec spec_cacheable) whose result is remembered gets
+  /// kSubmitOk{cached} + kDone with the bit-identical result, without
+  /// running a session. 0 disables caching.
+  std::size_t cache_entries = 0;
   std::size_t max_payload = 64u << 20;
   std::string server_name = "ptsd";
 };
@@ -90,6 +95,11 @@ class Daemon {
   std::uint64_t sessions_started() const;
   std::uint64_t sessions_finished() const;
   std::uint64_t connections_accepted() const;
+  /// Result-cache counters. A submission that is not cacheable at all
+  /// (codec spec_cacheable false, or caching disabled) counts as neither.
+  std::uint64_t cache_hits() const;
+  std::uint64_t cache_misses() const;
+  std::size_t cache_size() const;
 
  private:
   struct Impl;

@@ -117,6 +117,7 @@ pvm::Message encode(const SubmitOkMsg& msg) {
   Message out(kSubmitOk);
   out.pack_u64(msg.session);
   out.pack_bool(msg.queued);
+  out.pack_bool(msg.cached);
   return out;
 }
 
@@ -205,6 +206,7 @@ bool decode(pvm::Message& msg, SubmitOkMsg& out) {
   SafeReader reader(msg, kSubmitOk);
   reader.u64(out.session);
   reader.boolean(out.queued);
+  reader.boolean(out.cached);
   return reader.finish();
 }
 

@@ -87,6 +87,11 @@ struct SubmitOkMsg {
   /// True: admitted to the bounded FIFO queue, not yet running; kProgress /
   /// kDone arrive as usual once a slot frees up.
   bool queued = false;
+  /// True: the daemon served this submission from its result cache (ECO
+  /// mode) — no solver ran; `session` is 0 (there is nothing to cancel)
+  /// and the kDone (also session 0) with the bit-identical remembered
+  /// result follows immediately; no kProgress will ever arrive.
+  bool cached = false;
 };
 
 struct SubmitErrMsg {

@@ -1,5 +1,6 @@
 #include "service/session.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <mutex>
@@ -18,6 +19,9 @@ struct SessionManager::Session {
   CancelToken token;
   EventSink sink;
   solver::SolveSpec spec;
+  /// Non-empty: the finished result is LRU-cached under this key when the
+  /// stop reason is deterministic.
+  std::string cache_key;
   std::thread thread;
   bool has_deadline = false;
   Clock::time_point deadline{};
@@ -104,7 +108,8 @@ std::size_t SessionManager::running_locked() const {
 
 SessionManager::StartResult SessionManager::start(
     solver::SolveSpec spec, std::uint64_t owner, bool stream,
-    std::uint64_t progress_stride, EventSink sink, double deadline_seconds) {
+    std::uint64_t progress_stride, EventSink sink, double deadline_seconds,
+    std::string cache_key) {
   auto session = std::make_unique<Session>();
   session->owner = owner;
   session->stream = stream;
@@ -112,11 +117,16 @@ SessionManager::StartResult SessionManager::start(
   session->sink = std::move(sink);
   session->spec = std::move(spec);
   session->spec.stop.cancel = &session->token;
+  if (options_.cache_entries > 0) session->cache_key = std::move(cache_key);
   if (deadline_seconds > 0.0) {
+    // Clamp before the duration_cast: steady_clock durations are int64
+    // nanoseconds, so ~9.2e9 unclamped seconds would overflow into a
+    // deadline in the past and instantly expire the session.
+    const double capped = std::min(deadline_seconds, 1.0e9);
     session->has_deadline = true;
     session->deadline =
         Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                           std::chrono::duration<double>(deadline_seconds));
+                           std::chrono::duration<double>(capped));
   }
 
   // Publication and spawn happen under one lock so every joiner (reap,
@@ -167,6 +177,22 @@ void SessionManager::run_session(Session* session) {
     result.stop_reason = StopReason::DeadlineExpired;
   }
 
+  // Only wall-clock-independent outcomes are cacheable: a Cancelled /
+  // DeadlineExpired / TimeLimit result depends on when the run was
+  // interrupted, so a repeat submission would legitimately differ.
+  const bool deterministic_stop =
+      result.stop_reason == StopReason::Completed ||
+      result.stop_reason == StopReason::IterationBudget ||
+      result.stop_reason == StopReason::TargetCost ||
+      result.stop_reason == StopReason::TargetQuality;
+  if (!session->cache_key.empty() && deterministic_stop) {
+    // Insert BEFORE emitting Done: a client that has seen its result is
+    // then guaranteed an identical re-submission hits the cache.
+    const std::lock_guard<std::mutex> lock(mutex_);
+    cache_insert_locked(std::move(session->cache_key),
+                        solver::SolveResult(result));
+  }
+
   SessionEvent done;
   done.kind = SessionEvent::Kind::Done;
   done.session = session->id;
@@ -182,6 +208,37 @@ void SessionManager::run_session(Session* session) {
     session->finished.store(true, std::memory_order_release);
     promote_locked();
   }
+}
+
+void SessionManager::cache_insert_locked(std::string key,
+                                         solver::SolveResult result) {
+  if (options_.cache_entries == 0) return;
+  const auto it = cache_map_.find(key);
+  if (it != cache_map_.end()) {
+    // Same key, deterministic solve: the value is necessarily identical.
+    // Just refresh recency.
+    cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+    return;
+  }
+  cache_lru_.emplace_front(std::move(key), std::move(result));
+  cache_map_.emplace(cache_lru_.front().first, cache_lru_.begin());
+  while (cache_lru_.size() > options_.cache_entries) {
+    cache_map_.erase(cache_lru_.back().first);
+    cache_lru_.pop_back();
+  }
+}
+
+std::optional<solver::SolveResult> SessionManager::cached_result(
+    const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = cache_map_.find(key);
+  if (it == cache_map_.end()) {
+    ++cache_misses_;
+    return std::nullopt;
+  }
+  ++cache_hits_;
+  cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+  return cache_lru_.front().second;
 }
 
 void SessionManager::promote_locked() {
@@ -348,6 +405,21 @@ std::uint64_t SessionManager::sessions_started() const {
 std::uint64_t SessionManager::sessions_finished() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return finished_count_;
+}
+
+std::uint64_t SessionManager::cache_hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return cache_hits_;
+}
+
+std::uint64_t SessionManager::cache_misses() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return cache_misses_;
+}
+
+std::size_t SessionManager::cache_size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return cache_lru_.size();
 }
 
 }  // namespace pts::service

@@ -39,8 +39,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <list>
 #include <memory>
+#include <optional>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "solver/solver.hpp"
@@ -69,6 +73,11 @@ class SessionManager {
     /// Bounded FIFO admission queue; submissions beyond it are rejected
     /// with StartStatus::QueueFull. 0 disables queueing entirely.
     std::size_t max_queued = 64;
+    /// Bounded LRU result cache (ECO mode): completed deterministic solves
+    /// are remembered under their caller-supplied cache key, and
+    /// cached_result() serves repeat queries bit-identically without
+    /// starting a session. 0 disables caching.
+    std::size_t cache_entries = 0;
   };
 
   enum class StartStatus {
@@ -98,10 +107,22 @@ class SessionManager {
   /// Solver::validate with its netlist attached (the referenced netlist
   /// must outlive the manager); spec.stop.cancel and spec.observer are
   /// overwritten with the session's own. `deadline_seconds` > 0 arms a
-  /// wall-clock deadline spanning queue wait + solve.
+  /// wall-clock deadline spanning queue wait + solve (clamped to ~31
+  /// years so a huge value cannot overflow the steady_clock arithmetic).
+  /// A non-empty `cache_key` makes the session's result eligible for the
+  /// LRU cache: it is inserted when the solve finishes with a
+  /// deterministic stop reason (Completed / IterationBudget / TargetCost /
+  /// TargetQuality — never Cancelled, DeadlineExpired, or TimeLimit,
+  /// which depend on wall-clock timing). Callers must only pass a key for
+  /// specs whose result is a pure function of the key (see
+  /// codec spec_cacheable()).
   StartResult start(solver::SolveSpec spec, std::uint64_t owner, bool stream,
                     std::uint64_t progress_stride, EventSink sink,
-                    double deadline_seconds = 0.0);
+                    double deadline_seconds = 0.0, std::string cache_key = {});
+
+  /// Cache lookup: returns a copy of the remembered result for `key` and
+  /// refreshes its LRU position, or nullopt. Counts one hit or miss.
+  std::optional<solver::SolveResult> cached_result(const std::string& key);
 
   /// Requests cooperative cancellation (running or queued). True if the
   /// session exists and had not finished; the Done event still arrives (on
@@ -124,6 +145,9 @@ class SessionManager {
   std::size_t queued_sessions() const;
   std::uint64_t sessions_started() const;
   std::uint64_t sessions_finished() const;
+  std::uint64_t cache_hits() const;
+  std::uint64_t cache_misses() const;
+  std::size_t cache_size() const;
 
  private:
   struct Session;
@@ -137,6 +161,9 @@ class SessionManager {
   /// Running (unfinished) sessions. Caller holds mutex_.
   std::size_t running_locked() const;
   void watchdog_loop();
+  /// Inserts (or refreshes) a cache entry and evicts past the bound.
+  /// Caller holds mutex_.
+  void cache_insert_locked(std::string key, solver::SolveResult result);
 
   Options options_;
   mutable std::mutex mutex_;
@@ -146,6 +173,16 @@ class SessionManager {
   std::uint64_t started_ = 0;
   std::uint64_t finished_count_ = 0;
   bool draining_ = false;
+
+  /// LRU result cache: most-recently-used at the front; the map points into
+  /// the list. Guarded by mutex_ (shared with the session threads' final
+  /// bookkeeping, where insertions happen).
+  std::list<std::pair<std::string, solver::SolveResult>> cache_lru_;
+  std::unordered_map<std::string,
+                     std::list<std::pair<std::string, solver::SolveResult>>::iterator>
+      cache_map_;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
 
   std::condition_variable watchdog_cv_;
   bool watchdog_stop_ = false;

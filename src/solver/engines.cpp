@@ -17,17 +17,15 @@
 #include "timing/paths.hpp"
 
 namespace pts::solver {
-namespace {
 
-/// Shared setup for the sequential engines: layout, the seed-derived random
-/// initial placement, calibrated goals, and an evaluator carrying it all.
-/// The layout is heap-allocated because the placement inside the evaluator
-/// points at it.
-struct SequentialSetup {
-  std::unique_ptr<placement::Layout> layout;
-  std::unique_ptr<cost::Evaluator> eval;
-};
+namespace detail {
 
+// The layout is heap-allocated because the placement inside the evaluator
+// points at it. When warm-starting, the random placement is still built and
+// the goals are still calibrated against it — identical RNG consumption and
+// identical cost scale to the cold run — and the warm slots are assigned
+// only afterwards, which is what keeps the cold path bit-identical and the
+// warm/cold costs comparable.
 SequentialSetup make_sequential_setup(const SolveSpec& spec) {
   const netlist::Netlist& nl = *spec.netlist;
   SequentialSetup setup;
@@ -41,8 +39,18 @@ SequentialSetup make_sequential_setup(const SolveSpec& spec) {
   setup.eval = std::make_unique<cost::Evaluator>(std::move(initial),
                                                  std::move(paths), spec.cost,
                                                  goals);
+  if (!spec.initial_slots.empty()) {
+    setup.eval->reset_placement(spec.initial_slots);
+  }
   return setup;
 }
+
+}  // namespace detail
+
+namespace {
+
+using detail::SequentialSetup;
+using detail::make_sequential_setup;
 
 /// Snapshot of the evaluator's current solution into the best_* fields.
 void fill_best_from(SolveResult& out, const cost::Evaluator& eval) {
@@ -224,6 +232,15 @@ class ConstructiveEngine final : public Engine {
     return "connectivity-driven greedy construction (no iterative search)";
   }
 
+  void validate(const SolveSpec& spec,
+                std::vector<std::string>& errors) const override {
+    if (!spec.initial_slots.empty()) {
+      errors.push_back(
+          "engine 'constructive' does not support warm start "
+          "(initial_slots); greedy construction replaces any seed");
+    }
+  }
+
   SolveResult solve(const SolveSpec& spec) const override {
     // Goals are calibrated against the same-seed *random* placement (the
     // paper's initial solution), so initial_cost -> best_cost directly
@@ -304,6 +321,11 @@ class ParallelSharedEngine final : public Engine {
     if (spec.shared.threads < 1) {
       errors.push_back("shared.threads must be >= 1");
     }
+    if (!spec.initial_slots.empty()) {
+      errors.push_back(
+          "engine 'parallel-shared' does not support warm start "
+          "(initial_slots)");
+    }
   }
 
   SolveResult solve(const SolveSpec& spec) const override {
@@ -338,6 +360,10 @@ void validate_parallel(const SolveSpec& spec,
                        std::vector<std::string>& errors) {
   const auto& p = spec.parallel;
   validate_tabu_params(spec.tabu, errors);
+  if (!spec.initial_slots.empty()) {
+    errors.push_back("engine '" + spec.engine +
+                     "' does not support warm start (initial_slots)");
+  }
   if (p.num_tsws < 1) errors.push_back("parallel.num_tsws must be >= 1");
   if (p.clws_per_tsw < 1) {
     errors.push_back("parallel.clws_per_tsw must be >= 1");

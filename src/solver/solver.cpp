@@ -95,6 +95,31 @@ std::vector<std::string> Solver::validate(const SolveSpec& spec) const {
     errors.push_back("cost.rebuild_interval must be >= 1");
   }
 
+  if (!spec.initial_slots.empty() && spec.netlist != nullptr) {
+    const netlist::Netlist& nl = *spec.netlist;
+    if (spec.initial_slots.size() != nl.num_movable()) {
+      errors.push_back("initial_slots has " +
+                       std::to_string(spec.initial_slots.size()) +
+                       " entries; expected one per movable cell (" +
+                       std::to_string(nl.num_movable()) + ")");
+    } else {
+      std::vector<bool> seen(nl.num_cells(), false);
+      for (const netlist::CellId cell : spec.initial_slots) {
+        if (cell >= nl.num_cells() || !nl.cell(cell).movable()) {
+          errors.push_back("initial_slots contains id " + std::to_string(cell) +
+                           ", which is not a movable cell of this netlist");
+          break;
+        }
+        if (seen[cell]) {
+          errors.push_back("initial_slots assigns cell " + std::to_string(cell) +
+                           " to more than one slot");
+          break;
+        }
+        seen[cell] = true;
+      }
+    }
+  }
+
   if (std::isnan(spec.stop.max_seconds)) {
     errors.push_back("stop.max_seconds must not be NaN");
   }

@@ -77,6 +77,17 @@ struct SolveSpec {
   std::uint64_t seed = 1;
   cost::CostParams cost;
 
+  /// Warm start (ECO mode): when non-empty, the sequential search engines
+  /// ("tabu", "anneal", "local") seed from this slot assignment — typically
+  /// a prior SolveResult::best_slots — instead of the constructive random
+  /// init. Must be a permutation of the netlist's movable cells (validated).
+  /// Goal calibration still runs against the same-seed *random* placement,
+  /// so warm and cold runs of one circuit rank solutions on an identical
+  /// cost scale, and an empty vector leaves the cold path bit-identical to
+  /// before this field existed. Rejected by "constructive" and the
+  /// parallel engines.
+  std::vector<netlist::CellId> initial_slots;
+
   // -- per-engine parameter blocks ----------------------------------------
   /// "tabu" and, as the TSW inner loop, both parallel engines.
   tabu::TabuParams tabu;
@@ -183,6 +194,18 @@ class Solver {
 namespace detail {
 /// Implemented in engines.cpp; called once by the registry bootstrap.
 std::vector<std::unique_ptr<Engine>> make_builtin_engines();
+
+/// Shared setup for the sequential engines: layout, the seed-derived
+/// initial placement (random, or spec.initial_slots when warm-starting),
+/// goals calibrated against the same-seed random placement, and an
+/// evaluator carrying it all. Exposed for the checkpoint runner
+/// (solver/checkpoint.hpp), which must replicate the engine recipe exactly.
+struct SequentialSetup {
+  std::unique_ptr<placement::Layout> layout;
+  std::unique_ptr<cost::Evaluator> eval;
+};
+
+SequentialSetup make_sequential_setup(const SolveSpec& spec);
 }  // namespace detail
 
 }  // namespace pts::solver

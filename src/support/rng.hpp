@@ -157,6 +157,25 @@ class Rng {
     return Rng(sm.next());
   }
 
+  /// Complete generator state, for checkpoint/restore. The Marsaglia spare
+  /// is included so a restored stream replays normal() draws bit-for-bit.
+  struct State {
+    std::uint64_t s[4]{};
+    double spare = 0.0;
+    bool has_spare = false;
+  };
+
+  State state() const {
+    return State{{s_[0], s_[1], s_[2], s_[3]}, spare_, has_spare_};
+  }
+
+  void set_state(const State& st) {
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[3] = 0x1ULL;
+    spare_ = st.spare;
+    has_spare_ = st.has_spare;
+  }
+
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -61,6 +61,30 @@ class FrequencyMemory {
 
   void reset();
 
+  /// Complete long-term-memory state, for checkpoint/restore.
+  struct State {
+    std::vector<std::uint64_t> counts;
+    std::vector<std::uint64_t> improving_counts;
+    std::uint64_t transitions = 0;
+    std::uint64_t max_count = 0;
+    std::uint64_t max_improving = 0;
+  };
+
+  State state() const {
+    return State{counts_, improving_counts_, transitions_, max_count_,
+                 max_improving_};
+  }
+
+  void restore(const State& st) {
+    PTS_CHECK(st.counts.size() == counts_.size());
+    PTS_CHECK(st.improving_counts.size() == improving_counts_.size());
+    counts_ = st.counts;
+    improving_counts_ = st.improving_counts;
+    transitions_ = st.transitions;
+    max_count_ = st.max_count;
+    max_improving_ = st.max_improving;
+  }
+
  private:
   double normalized(const std::vector<std::uint64_t>& counts,
                     netlist::CellId cell) const;

@@ -38,6 +38,30 @@ void TabuSearch::update_best() {
 
 void TabuSearch::note_external_solution() { update_best(); }
 
+TabuSearch::State TabuSearch::state() const {
+  State st;
+  st.rng = rng_.state();
+  st.tabu_entries = list_.entries();
+  st.frequency = frequency_.state();
+  st.best_cost = best_cost_;
+  st.best_quality = best_quality_;
+  st.best_objectives = best_objectives_;
+  st.best_slots = best_slots_;
+  st.stats = stats_;
+  return st;
+}
+
+void TabuSearch::restore(const State& st) {
+  rng_.set_state(st.rng);
+  list_.assign(st.tabu_entries);
+  frequency_.restore(st.frequency);
+  best_cost_ = st.best_cost;
+  best_quality_ = st.best_quality;
+  best_objectives_ = st.best_objectives;
+  best_slots_ = st.best_slots;
+  stats_ = st.stats;
+}
+
 bool TabuSearch::iterate(const CellRange& range) {
   ++stats_.iterations;
   const double cost_before = eval_->cost();
@@ -76,8 +100,14 @@ SearchResult TabuSearch::run(const RunControl& control) {
   result.best_trace.name = "best";
   result.best_vs_time.name = "best_vs_time";
   const Stopwatch watch;
-  result.best_vs_time.add(0.0, best_cost_);
-  for (std::size_t iter = 0; iter < params_.iterations; ++iter) {
+  // A fresh search starts its time-to-quality trail at (0, initial best); a
+  // restored search already recorded that point before its checkpoint, so
+  // re-adding it would fork the trace from the uninterrupted run.
+  if (stats_.iterations == 0) result.best_vs_time.add(0.0, best_cost_);
+  // Resume support: a restored search has stats_.iterations completed
+  // iterations behind it and picks up exactly where the interrupted run
+  // stopped (fresh searches start at 0, identical to before).
+  for (std::size_t iter = stats_.iterations; iter < params_.iterations; ++iter) {
     if (const auto reason =
             control.should_stop(iter, control.needs_clock() ? watch.seconds() : 0.0,
                                 best_cost_, best_quality_)) {

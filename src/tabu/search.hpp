@@ -136,6 +136,27 @@ class TabuSearch {
   /// evaluator's solution (broadcast of a new global best).
   void note_external_solution();
 
+  /// Complete search-side state for checkpoint/restore: RNG stream, tabu
+  /// list, long-term memory, best-so-far bookkeeping, and counters. The
+  /// evaluator's state is captured separately (Evaluator::checkpoint).
+  struct State {
+    Rng::State rng;
+    std::vector<Move> tabu_entries;
+    FrequencyMemory::State frequency;
+    double best_cost = 0.0;
+    double best_quality = 0.0;
+    cost::Objectives best_objectives;
+    std::vector<netlist::CellId> best_slots;
+    SearchStats stats;
+  };
+
+  State state() const;
+
+  /// Restores a state() image taken from a search over the same netlist
+  /// and params. run() then continues from stats.iterations, producing the
+  /// exact trajectory the interrupted run would have produced.
+  void restore(const State& st);
+
   /// Overrides how iterate() builds/undoes compound moves (not owned; null
   /// restores the default). See CompoundStrategy for the contract.
   void set_compound_strategy(CompoundStrategy* strategy) {

@@ -13,6 +13,7 @@
 // from per-net HPWL changes.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -129,6 +130,16 @@ class PathTimer {
 
   /// Estimated circuit delay: max over monitored paths. O(K).
   double max_delay() const;
+
+  /// Committed per-path wire sums (checkpoint capture). Like the HPWL
+  /// total, these drift from a from-scratch rebuild, so bit-identical
+  /// resume restores the exact checkpointed doubles.
+  std::span<const double> wire_sums() const { return wire_sum_; }
+
+  void restore_wire_sums(std::span<const double> sums) {
+    PTS_CHECK(sums.size() == wire_sum_.size());
+    std::copy(sums.begin(), sums.end(), wire_sum_.begin());
+  }
 
   double path_delay(std::size_t i) const {
     PTS_DCHECK(i < wire_sum_.size());

@@ -29,6 +29,7 @@
 
 #include "cost/evaluator.hpp"
 #include "netlist/generator.hpp"
+#include "solver/checkpoint.hpp"
 #include "placement/hpwl.hpp"
 #include "placement/placement.hpp"
 #include "support/rng.hpp"
@@ -324,6 +325,56 @@ TEST(PropertyFuzz, ProbeBatchMatchesScalarBitForBit) {
       ASSERT_TRUE(batch_eval->placement() == scalar_eval->placement());
     }
   }
+}
+
+// -- property 5: checkpoint/resume == uninterrupted, on random circuits ------
+
+TEST(PropertyFuzz, ResumedSearchMatchesUninterruptedBitForBit) {
+  const auto configs = fuzz_configs();
+  // A handful of the smaller circuits: the property is per-iteration state
+  // equality, which a big circuit does not make stronger, only slower.
+  int tested = 0;
+  for (const auto& config : configs) {
+    if (config.num_gates > 400 || tested >= 5) continue;
+    ++tested;
+    const Netlist nl = netlist::generate_circuit(config);
+
+    solver::SolveSpec spec;
+    spec.engine = "tabu";
+    spec.netlist = &nl;
+    spec.seed = config.seed ^ 0xCE50'11ULL;
+    spec.tabu.iterations = 70;
+
+    const auto full = solver::solve_with_checkpoint(spec);
+
+    // Interrupt at an arbitrary seeded point, round-trip through JSON,
+    // resume, and require the whole-run result to be bit-identical.
+    Rng rng(config.seed ^ 0x1D1ULL);
+    solver::SolveSpec interrupted = spec;
+    interrupted.stop.max_iterations = 1 + rng.below(69);
+    const auto half = solver::solve_with_checkpoint(interrupted);
+
+    solver::Checkpoint restored;
+    ASSERT_EQ(solver::decode_checkpoint(
+                  solver::encode_checkpoint(half.checkpoint), &restored),
+              "")
+        << config.name;
+    const auto resumed = solver::resume_from_checkpoint(spec, restored);
+
+    ASSERT_EQ(resumed.result.best_cost, full.result.best_cost) << config.name;
+    ASSERT_EQ(resumed.result.best_slots, full.result.best_slots) << config.name;
+    ASSERT_EQ(resumed.result.stats.accepted, full.result.stats.accepted)
+        << config.name;
+    ASSERT_EQ(resumed.result.stats.trials, full.result.stats.trials)
+        << config.name;
+    ASSERT_EQ(resumed.checkpoint.eval.slots, full.checkpoint.eval.slots)
+        << config.name;
+    ASSERT_EQ(resumed.checkpoint.eval.hpwl_total, full.checkpoint.eval.hpwl_total)
+        << config.name;
+    ASSERT_EQ(resumed.checkpoint.eval.wire_sums, full.checkpoint.eval.wire_sums)
+        << config.name;
+  }
+  ASSERT_GT(tested, 0);
 }
 
 }  // namespace

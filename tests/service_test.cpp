@@ -15,6 +15,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -970,6 +971,149 @@ TEST(DaemonTcp, ServesOverLoopbackTcp) {
   const auto session = client.submit(job, false, 0, &error);
   ASSERT_TRUE(session.has_value()) << error;
   EXPECT_TRUE(client.wait(*session, nullptr, &error).has_value()) << error;
+  client.close();
+  daemon.stop();
+  EXPECT_EQ(daemon.active_sessions(), 0u);
+}
+
+// -- result cache (ECO mode) -------------------------------------------------
+
+TEST(Codec, CacheKeyCanonicalizesDeadlineAndGatesOnDeterminism) {
+  JobRequest job;
+  job.circuit = "highway";
+  job.spec.engine = "tabu";
+  job.spec.seed = 9;
+  EXPECT_TRUE(spec_cacheable(job));
+
+  // The deadline shapes when a job is killed, not what it computes: two
+  // submissions differing only there share one cache entry.
+  JobRequest with_deadline = job;
+  with_deadline.deadline_seconds = 30.0;
+  EXPECT_EQ(cache_key(job, 0xABCDULL), cache_key(with_deadline, 0xABCDULL));
+
+  // Anything that changes the computed result changes the key.
+  JobRequest other_seed = job;
+  other_seed.spec.seed = 10;
+  EXPECT_NE(cache_key(job, 0xABCDULL), cache_key(other_seed, 0xABCDULL));
+  EXPECT_NE(cache_key(job, 0xABCDULL), cache_key(job, 0xABCEULL));
+  JobRequest warm = job;
+  warm.spec.initial_slots = {2, 1, 0};
+  EXPECT_NE(cache_key(job, 0xABCDULL), cache_key(warm, 0xABCDULL));
+
+  // Wall-clock stops and the real-thread engine are not cacheable.
+  JobRequest timed = job;
+  timed.spec.stop.max_seconds = 5.0;
+  EXPECT_FALSE(spec_cacheable(timed));
+  JobRequest threaded = job;
+  threaded.spec.engine = "parallel-threaded";
+  EXPECT_FALSE(spec_cacheable(threaded));
+}
+
+TEST(SessionManager, CachesDeterministicResultsWithLruEviction) {
+  SessionManager::Options options;
+  options.cache_entries = 2;
+  SessionManager manager(options);
+
+  const auto run = [&](std::uint64_t seed, const std::string& key) {
+    std::promise<SolveResult> promise;
+    auto future = promise.get_future();
+    const auto started = manager.start(
+        highway_spec("tabu", seed, 40), /*owner=*/1, /*stream=*/false, 0,
+        [&promise](SessionEvent&& event) {
+          if (event.kind == SessionEvent::Kind::Done) {
+            promise.set_value(std::move(event.result));
+          }
+        },
+        /*deadline_seconds=*/0.0, key);
+    EXPECT_EQ(started.status, SessionManager::StartStatus::Started);
+    return future.get();
+  };
+
+  const SolveResult first = run(1, "job-a");
+  EXPECT_EQ(manager.cache_size(), 1u);
+
+  // A hit returns the bit-identical remembered result.
+  const auto hit = manager.cached_result("job-a");
+  ASSERT_TRUE(hit.has_value());
+  expect_deterministic_fields_eq(*hit, first);
+  EXPECT_EQ(manager.cache_hits(), 1u);
+  EXPECT_FALSE(manager.cached_result("job-b").has_value());
+  EXPECT_EQ(manager.cache_misses(), 1u);
+
+  // Fill past the bound: "job-a" was just touched, so "job-b" (older) is
+  // the LRU victim when "job-d" lands.
+  run(2, "job-b");
+  run(1, "job-a");  // deterministic repeat; refreshes recency, no new entry
+  EXPECT_EQ(manager.cache_size(), 2u);
+  run(3, "job-d");
+  EXPECT_EQ(manager.cache_size(), 2u);
+  EXPECT_TRUE(manager.cached_result("job-a").has_value());
+  EXPECT_TRUE(manager.cached_result("job-d").has_value());
+  EXPECT_FALSE(manager.cached_result("job-b").has_value());
+
+  // Sessions without a key never populate the cache.
+  run(4, "");
+  EXPECT_EQ(manager.cache_size(), 2u);
+  manager.drain();
+}
+
+TEST(DaemonCache, RepeatSubmissionIsServedBitIdenticallyWithoutASession) {
+  DaemonConfig config;
+  config.unix_path = fresh_socket_path();
+  config.cache_entries = 8;
+  Daemon daemon(config);
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+
+  Client client;
+  ASSERT_TRUE(client.connect_unix(config.unix_path, &error)) << error;
+  ASSERT_TRUE(client.hello(&error).has_value()) << error;
+
+  JobRequest job;
+  job.circuit = "highway";
+  job.spec.engine = "tabu";
+  job.spec.seed = 77;
+  job.spec.tabu.iterations = 80;
+
+  // First submission solves for real (a cache miss).
+  bool cached = false;
+  const auto first_session =
+      client.submit(job, /*stream=*/false, 0, &error, nullptr, 0, &cached);
+  ASSERT_TRUE(first_session.has_value()) << error;
+  EXPECT_FALSE(cached);
+  const auto first = client.wait(*first_session, nullptr, &error);
+  ASSERT_TRUE(first.has_value()) << error;
+  EXPECT_EQ(daemon.cache_misses(), 1u);
+  EXPECT_EQ(daemon.cache_size(), 1u);
+
+  // The repeat is answered from the cache: no new session, bit-identical
+  // result, even with a different deadline (canonicalized out of the key).
+  const std::uint64_t sessions_before = daemon.sessions_started();
+  JobRequest repeat = job;
+  repeat.deadline_seconds = 120.0;
+  const auto second_session =
+      client.submit(repeat, /*stream=*/false, 0, &error, nullptr, 0, &cached);
+  ASSERT_TRUE(second_session.has_value()) << error;
+  EXPECT_TRUE(cached);
+  EXPECT_EQ(*second_session, 0u);
+  const auto second = client.wait(*second_session, nullptr, &error);
+  ASSERT_TRUE(second.has_value()) << error;
+  expect_deterministic_fields_eq(*second, *first);
+  EXPECT_EQ(second->makespan, first->makespan);  // replay, not re-run
+  EXPECT_EQ(daemon.sessions_started(), sessions_before);
+  EXPECT_EQ(daemon.cache_hits(), 1u);
+
+  // A different seed is a different key: miss, new session.
+  JobRequest other = job;
+  other.spec.seed = 78;
+  const auto third_session =
+      client.submit(other, /*stream=*/false, 0, &error, nullptr, 0, &cached);
+  ASSERT_TRUE(third_session.has_value()) << error;
+  EXPECT_FALSE(cached);
+  ASSERT_TRUE(client.wait(*third_session, nullptr, &error).has_value()) << error;
+  EXPECT_EQ(daemon.cache_misses(), 2u);
+  EXPECT_EQ(daemon.cache_size(), 2u);
+
   client.close();
   daemon.stop();
   EXPECT_EQ(daemon.active_sessions(), 0u);

@@ -15,8 +15,10 @@
 #include "baselines/constructive.hpp"
 #include "baselines/local_search.hpp"
 #include "experiments/workloads.hpp"
+#include "netlist/io.hpp"
 #include "parallel/sim_engine.hpp"
 #include "parallel/threaded_engine.hpp"
+#include "solver/checkpoint.hpp"
 #include "solver/solver.hpp"
 #include "tabu/search.hpp"
 #include "timing/paths.hpp"
@@ -581,6 +583,175 @@ TEST(SolverObserver, SeesMonotoneImprovementsEndingAtBest) {
     EXPECT_LT(observer.improvements[i], observer.improvements[i - 1]);
   }
   EXPECT_EQ(observer.improvements.back(), result.best_cost);
+}
+
+// -- warm start (ECO mode) ---------------------------------------------------
+
+TEST(SolverWarmStart, SeededPlacementIsDeterministicAndStartsFromSeed) {
+  const auto& nl = experiments::circuit("highway");
+  SolveSpec cold;
+  cold.engine = "tabu";
+  cold.netlist = &nl;
+  cold.seed = 21;
+  cold.tabu.iterations = 80;
+  const auto cold_result = Solver().solve(cold);
+
+  // Seed a fresh run from the cold run's best placement.
+  SolveSpec warm = cold;
+  warm.initial_slots = cold_result.best_slots;
+  const auto a = Solver().solve(warm);
+  const auto b = Solver().solve(warm);
+
+  // Deterministic: two warm runs are bit-identical.
+  EXPECT_EQ(a.best_cost, b.best_cost);
+  EXPECT_EQ(a.best_slots, b.best_slots);
+  EXPECT_EQ(a.initial_cost, b.initial_cost);
+  expect_series_identical(a.cost_trace, b.cost_trace);
+
+  // The warm run actually starts from the seed: its initial cost is the
+  // cold run's best (calibration is shared, so costs are comparable), and
+  // it can only stay there or improve. Near, not bit-equal: the cold best
+  // is tracked incrementally during search while the warm initial cost is
+  // evaluated from scratch, so they differ by accumulated rounding.
+  EXPECT_NEAR(a.initial_cost, cold_result.best_cost,
+              1e-12 * std::abs(cold_result.best_cost));
+  EXPECT_LE(a.best_cost, a.initial_cost);
+  // And it is a different trajectory than the cold run, not a replay.
+  EXPECT_NE(a.initial_cost, cold_result.initial_cost);
+}
+
+TEST(SolverWarmStart, ValidateRejectsMalformedSeeds) {
+  const auto& nl = experiments::circuit("highway");
+  SolveSpec spec;
+  spec.engine = "tabu";
+  spec.netlist = &nl;
+
+  spec.initial_slots = {0, 1, 2};  // wrong size
+  EXPECT_FALSE(Solver().validate(spec).empty());
+
+  // Right size but a duplicated movable cell.
+  SolveSpec cold = spec;
+  cold.initial_slots.clear();
+  cold.tabu.iterations = 4;
+  auto slots = Solver().solve(cold).best_slots;
+  ASSERT_GE(slots.size(), 2u);
+  slots[0] = slots[1];
+  spec.initial_slots = slots;
+  EXPECT_FALSE(Solver().validate(spec).empty());
+
+  // Engines without warm-start support must reject, not silently ignore.
+  spec.initial_slots = Solver().solve(cold).best_slots;
+  EXPECT_TRUE(Solver().validate(spec).empty());
+  for (const char* engine :
+       {"constructive", "parallel-sim", "parallel-threaded", "parallel-shared"}) {
+    SolveSpec rejected = spec;
+    rejected.engine = engine;
+    rejected.parallel.num_tsws = 2;
+    rejected.parallel.clws_per_tsw = 1;
+    EXPECT_FALSE(Solver().validate(rejected).empty()) << engine;
+  }
+}
+
+// -- checkpoint/resume -------------------------------------------------------
+
+TEST(SolverCheckpoint, ResumeEqualsUninterruptedRun) {
+  const auto& nl = experiments::circuit("highway");
+  SolveSpec spec;
+  spec.engine = "tabu";
+  spec.netlist = &nl;
+  spec.seed = 33;
+  spec.tabu.iterations = 120;
+
+  // The uninterrupted reference.
+  const auto full = solve_with_checkpoint(spec);
+
+  // Interrupt at iteration 50 via the stop conditions, round-trip the
+  // checkpoint through its JSON serialization, resume to the end.
+  SolveSpec interrupted = spec;
+  interrupted.stop.max_iterations = 50;
+  const auto half = solve_with_checkpoint(interrupted);
+  EXPECT_EQ(half.result.stats.iterations, 50u);
+
+  const std::string encoded = encode_checkpoint(half.checkpoint);
+  Checkpoint restored;
+  ASSERT_EQ(decode_checkpoint(encoded, &restored), "");
+  ASSERT_EQ(check_resume_compatible(spec, restored), "");
+  const auto resumed = resume_from_checkpoint(spec, restored);
+
+  // Every deterministic field of the whole-run result is bit-identical.
+  const SolveResult& a = full.result;
+  const SolveResult& b = resumed.result;
+  EXPECT_EQ(a.best_cost, b.best_cost);
+  EXPECT_EQ(a.best_quality, b.best_quality);
+  EXPECT_EQ(a.best_slots, b.best_slots);
+  EXPECT_EQ(a.initial_cost, b.initial_cost);
+  EXPECT_EQ(a.stats.iterations, b.stats.iterations);
+  EXPECT_EQ(a.stats.accepted, b.stats.accepted);
+  EXPECT_EQ(a.stats.rejected_tabu, b.stats.rejected_tabu);
+  EXPECT_EQ(a.stats.aspirated, b.stats.aspirated);
+  EXPECT_EQ(a.stats.trials, b.stats.trials);
+  EXPECT_EQ(a.stop_reason, b.stop_reason);
+  expect_series_identical(a.cost_trace, b.cost_trace);
+  expect_series_identical(a.best_trace, b.best_trace);
+  // best_vs_time: x values are wall-clock; the costs must match exactly.
+  expect_series_same_y(a.best_vs_time, b.best_vs_time);
+
+  // And the final checkpoints agree on the engine state.
+  EXPECT_EQ(full.checkpoint.eval.slots, resumed.checkpoint.eval.slots);
+  EXPECT_EQ(full.checkpoint.eval.hpwl_total, resumed.checkpoint.eval.hpwl_total);
+  EXPECT_EQ(full.checkpoint.search.stats.iterations,
+            resumed.checkpoint.search.stats.iterations);
+}
+
+TEST(SolverCheckpoint, CheckpointJsonRoundTripsAndRejectsGarbage) {
+  const auto& nl = experiments::circuit("highway");
+  SolveSpec spec;
+  spec.engine = "tabu";
+  spec.netlist = &nl;
+  spec.seed = 5;
+  spec.tabu.iterations = 30;
+  const auto solve = solve_with_checkpoint(spec);
+
+  const std::string encoded = encode_checkpoint(solve.checkpoint);
+  Checkpoint decoded;
+  ASSERT_EQ(decode_checkpoint(encoded, &decoded), "");
+  EXPECT_EQ(encode_checkpoint(decoded), encoded);  // bit-exact round-trip
+  EXPECT_EQ(decoded.seed, spec.seed);
+  EXPECT_EQ(decoded.circuit_hash, netlist::content_hash(nl));
+
+  // Malformed input is an error string, never an abort.
+  Checkpoint sink;
+  EXPECT_NE(decode_checkpoint("", &sink), "");
+  EXPECT_NE(decode_checkpoint("not json", &sink), "");
+  EXPECT_NE(decode_checkpoint("{}", &sink), "");
+  EXPECT_NE(decode_checkpoint("{\"version\":2}", &sink), "");
+  std::string truncated = encoded.substr(0, encoded.size() / 2);
+  EXPECT_NE(decode_checkpoint(truncated, &sink), "");
+
+  // Incompatibility is reported, not asserted: wrong seed, wrong circuit.
+  SolveSpec other = spec;
+  other.seed = 6;
+  EXPECT_NE(check_resume_compatible(other, solve.checkpoint), "");
+  SolveSpec other_circuit = spec;
+  other_circuit.netlist = &experiments::circuit("c532");
+  EXPECT_NE(check_resume_compatible(other_circuit, solve.checkpoint), "");
+}
+
+TEST(SolverCheckpoint, ColdSolveWithCheckpointMatchesSolver) {
+  const auto& nl = experiments::circuit("highway");
+  SolveSpec spec;
+  spec.engine = "tabu";
+  spec.netlist = &nl;
+  spec.seed = 71;
+  spec.tabu.iterations = 60;
+
+  const auto via_solver = Solver().solve(spec);
+  const auto via_checkpoint = solve_with_checkpoint(spec);
+  EXPECT_EQ(via_solver.best_cost, via_checkpoint.result.best_cost);
+  EXPECT_EQ(via_solver.best_slots, via_checkpoint.result.best_slots);
+  EXPECT_EQ(via_solver.initial_cost, via_checkpoint.result.initial_cost);
+  expect_series_identical(via_solver.cost_trace, via_checkpoint.result.cost_trace);
+  expect_series_identical(via_solver.best_trace, via_checkpoint.result.best_trace);
 }
 
 }  // namespace
